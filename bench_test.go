@@ -1,0 +1,443 @@
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one benchmark per artefact) plus the extension
+// sweeps of DESIGN.md §4. Each benchmark validates the reproduced
+// shape against the paper's published statement and reports the
+// domain quantities via b.ReportMetric, so `go test -bench=.`
+// doubles as the reproduction record (EXPERIMENTS.md captures one
+// run's output).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/aperiodic"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+)
+
+func ms(v int64) vtime.Duration { return vtime.Millis(v) }
+
+// BenchmarkTable1 regenerates Table 1 / Figure 1: per-job response
+// times of τ2 across the level-2 busy period (5, 6, 4 ms), worst case
+// at the second job.
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tau2 := rows[1]
+	if tau2.WCRT != ms(6) || tau2.Jobs[1].Response != ms(6) || tau2.Jobs[0].Response != ms(5) {
+		b.Fatalf("Table 1 shape broken: %+v", tau2)
+	}
+	b.ReportMetric(float64(tau2.WCRT.Milliseconds()), "wcrt_ms")
+	b.ReportMetric(float64(tau2.Jobs[1].Q), "worst_job_index")
+}
+
+// BenchmarkTable2 regenerates Table 2: WCRT 29/58/87 ms and the
+// equitable allowance A = 11 ms.
+func BenchmarkTable2(b *testing.B) {
+	var rows []experiments.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	want := []int64{29, 58, 87}
+	for i, r := range rows {
+		if r.WCRT != ms(want[i]) || r.Allowance != ms(11) {
+			b.Fatalf("Table 2 shape broken: %+v", r)
+		}
+	}
+	b.ReportMetric(11, "allowance_ms")
+	b.ReportMetric(33, "max_overrun_ms")
+}
+
+// BenchmarkTable3 regenerates Table 3: WCRTs with equitable overruns
+// shift by +11/+22/+33 ms.
+func BenchmarkTable3(b *testing.B) {
+	var rows []experiments.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	shifts := []int64{11, 22, 33}
+	for i, r := range rows {
+		if r.Shift != ms(shifts[i]) {
+			b.Fatalf("Table 3 shape broken: %+v", r)
+		}
+	}
+	b.ReportMetric(float64(rows[2].EquitableWCRT.Milliseconds()), "tau3_shifted_wcrt_ms")
+}
+
+// benchFigure runs one §6 figure scenario per iteration and checks
+// the published outcome.
+func benchFigure(b *testing.B, fig experiments.Figure, check func(o experiments.FigureOutcome) bool) {
+	var o experiments.FigureOutcome
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure(fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o = experiments.Outcome(fig, res)
+	}
+	if !check(o) {
+		b.Fatalf("%s: outcome does not match the paper: %+v", fig.Title(), o)
+	}
+	b.ReportMetric(float64(o.Tau1End.Milliseconds()), "tau1_end_ms")
+	b.ReportMetric(float64(o.Tau3End.Milliseconds()), "tau3_end_ms")
+	b.ReportMetric(float64(o.Detections), "detections")
+}
+
+// BenchmarkFigure3: no detection — τ1/τ2 meet, τ3 misses at 1120 ms.
+func BenchmarkFigure3(b *testing.B) {
+	benchFigure(b, experiments.Figure3, func(o experiments.FigureOutcome) bool {
+		return !o.Tau1Failed && !o.Tau2Failed && o.Tau3Failed && o.Tau3End == vtime.AtMillis(1127)
+	})
+}
+
+// BenchmarkFigure4: detection without treatment — same schedule, with
+// detector delays of 1/2/3 ms from the 10 ms timer (§6.2).
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, experiments.Figure4, func(o experiments.FigureOutcome) bool {
+		return o.Tau3Failed && o.Detections >= 1
+	})
+}
+
+// BenchmarkFigure5: immediate stop — only τ1 fails; slack remains.
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, experiments.Figure5, func(o experiments.FigureOutcome) bool {
+		return o.Tau1Failed && !o.Tau2Failed && !o.Tau3Failed && o.Tau1End == vtime.AtMillis(1030)
+	})
+}
+
+// BenchmarkFigure6: equitable allowance — τ1 stopped at WCRT+11,
+// runs longer than under Figure 5; τ2/τ3 meet with CPU left unused.
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, experiments.Figure6, func(o experiments.FigureOutcome) bool {
+		return o.Tau1End == vtime.AtMillis(1040) && !o.Tau2Failed && !o.Tau3Failed
+	})
+}
+
+// BenchmarkFigure7: system allowance — τ1 stopped at WCRT+33 (1062),
+// τ2 and τ3 finish just before their deadlines (1091 and 1120).
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, experiments.Figure7, func(o experiments.FigureOutcome) bool {
+		return o.Tau1End == vtime.AtMillis(1062) &&
+			o.Tau2End == vtime.AtMillis(1091) &&
+			o.Tau3End == vtime.AtMillis(1120) &&
+			!o.Tau2Failed && !o.Tau3Failed
+	})
+}
+
+// BenchmarkSweepFaultMagnitude (X2) generalizes Figures 3–7 into a
+// success-ratio curve over the injected overrun.
+func BenchmarkSweepFaultMagnitude(b *testing.B) {
+	var points []experiments.SweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.FaultMagnitudeSweep(ms(60), ms(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worstNoDet, worstStop float64 = 1, 1
+	for _, p := range points {
+		switch p.Treatment {
+		case detect.NoDetection:
+			if p.SuccessRatio < worstNoDet {
+				worstNoDet = p.SuccessRatio
+			}
+		case detect.Stop:
+			if p.SuccessRatio < worstStop {
+				worstStop = p.SuccessRatio
+			}
+		}
+	}
+	if worstStop < worstNoDet {
+		b.Fatalf("stop treatment must dominate no-detection: %v vs %v", worstStop, worstNoDet)
+	}
+	b.ReportMetric(worstNoDet, "worst_success_nodetect")
+	b.ReportMetric(worstStop, "worst_success_stop")
+}
+
+// BenchmarkSweepDetectorOverhead (X1) quantifies the §6.2 remark that
+// more tasks mean more sensors and more overhead.
+func BenchmarkSweepDetectorOverhead(b *testing.B) {
+	var points []experiments.OverheadPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.DetectorOverheadSweep([]int{4, 8, 16}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := points[len(points)-1]
+	b.ReportMetric(float64(last.Switches), "switches_16tasks_detectors")
+	b.ReportMetric(float64(last.TraceBytes), "trace_bytes_16tasks")
+}
+
+// BenchmarkSweepTimerResolution (X3) ablates jRate's 10 ms timer
+// quantization against exact timers.
+func BenchmarkSweepTimerResolution(b *testing.B) {
+	var points []experiments.ResolutionPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.TimerResolutionSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Collateral != 0 {
+			b.Fatalf("collateral failures at resolution %v under %v", p.Resolution, p.Treatment)
+		}
+	}
+	b.ReportMetric(float64(len(points)), "points")
+}
+
+// BenchmarkSweepBaselines (X4) compares the paper's approach with the
+// overload schedulers it cites.
+func BenchmarkSweepBaselines(b *testing.B) {
+	var points []experiments.BaselinePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.BaselineComparison(ms(50), 6*vtime.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]experiments.BaselinePoint{}
+	for _, p := range points {
+		byName[p.Policy] = p
+	}
+	paper := byName["fp+detectors(stop)"]
+	fpRaw := byName["fixed-priority"]
+	if paper.Tau3Success < fpRaw.Tau3Success {
+		b.Fatalf("detectors must protect tau3 at least as well as raw FP: %v vs %v",
+			paper.Tau3Success, fpRaw.Tau3Success)
+	}
+	if paper.Tau3Success < 0.999 {
+		b.Fatalf("the paper's approach must fully protect tau3, got %v", paper.Tau3Success)
+	}
+	b.ReportMetric(paper.SuccessRatio, "success_paper")
+	b.ReportMetric(fpRaw.SuccessRatio, "success_fp_raw")
+	b.ReportMetric(byName["edf"].SuccessRatio, "success_edf")
+	b.ReportMetric(byName["best-effort"].SuccessRatio, "success_besteffort")
+	b.ReportMetric(byName["red"].SuccessRatio, "success_red")
+	b.ReportMetric(byName["d-over"].SuccessRatio, "success_dover")
+}
+
+// BenchmarkSweepAcceptance (X5) compares the admission tests'
+// acceptance ratios on random task sets — why the paper implements
+// the exact Figure 2 analysis.
+func BenchmarkSweepAcceptance(b *testing.B) {
+	var points []experiments.AcceptancePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.AcceptanceSweep([]float64{0.6, 0.8, 0.95}, 50, 5, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := points[len(points)-1]
+	if hi.LLAccept > hi.ExactAccpt {
+		b.Fatal("LL bound cannot accept more than the exact test")
+	}
+	b.ReportMetric(hi.LLAccept, "ll_accept_u095")
+	b.ReportMetric(hi.HypAccept, "hyp_accept_u095")
+	b.ReportMetric(hi.ExactAccpt, "exact_accept_u095")
+}
+
+// BenchmarkDynamicAdmission (X6) exercises the paper's §7 dynamic
+// mode: admissions, a rejection, and a removal per iteration.
+func BenchmarkDynamicAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := taskset.MustNew(
+			taskset.Task{Name: "a", Priority: 10, Period: ms(100), Deadline: ms(100), Cost: ms(20)},
+		)
+		sup, err := detect.NewSupervisor(base, detect.Config{Treatment: detect.Stop, TimerResolution: ms(10)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(engine.Config{Tasks: base, End: vtime.AtMillis(2000), Hooks: sup.Hooks()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup.Attach(e)
+		e.Schedule(vtime.AtMillis(100), func(now vtime.Time) {
+			if err := sup.AdmitTask(e, taskset.Task{Name: "b", Priority: 5, Period: ms(200), Deadline: ms(200), Cost: ms(30)}); err != nil {
+				b.Errorf("admit b: %v", err)
+			}
+		})
+		e.Schedule(vtime.AtMillis(200), func(now vtime.Time) {
+			if err := sup.AdmitTask(e, taskset.Task{Name: "c", Priority: 4, Period: ms(100), Deadline: ms(100), Cost: ms(90)}); err == nil {
+				b.Error("c must be rejected")
+			}
+		})
+		e.Schedule(vtime.AtMillis(1000), func(now vtime.Time) {
+			if err := sup.RemoveTask(e, "b"); err != nil {
+				b.Errorf("remove b: %v", err)
+			}
+		})
+		e.Run()
+	}
+}
+
+// BenchmarkWCRTAnalysis measures the Figure 2 algorithm itself on
+// random 20-task sets (the cost the paper calls "expensive algorithms
+// in time" for static systems, §7).
+func BenchmarkWCRTAnalysis(b *testing.B) {
+	gen := taskset.NewGenerator(3)
+	sets := make([]*taskset.Set, 32)
+	for i := range sets {
+		s, err := gen.Generate(20, 0.85)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sets[i%len(sets)]
+		if _, err := analysis.Feasible(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures simulated events per wall
+// second: the substrate cost of one hyperperiod of the Table 2
+// system with detectors and a recurring fault.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sup, err := detect.NewSupervisor(experiments.FigureSet(), detect.Config{
+			Treatment: detect.Stop, TimerResolution: ms(10),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(engine.Config{
+			Tasks:  experiments.FigureSet(),
+			Faults: fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 3, Extra: ms(45)}},
+			End:    vtime.Time(30 * vtime.Second),
+			Hooks:  sup.Hooks(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup.Attach(e)
+		log := e.Run()
+		b.ReportMetric(float64(log.Len()), "trace_events")
+	}
+}
+
+// BenchmarkAperiodicServer (X7, §7 outlook) runs the polling-server
+// scenario: a 3×20 ms burst through a 10 ms / 50 ms server beside a
+// hard periodic task; the hard task must never miss.
+func BenchmarkAperiodicServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		periodic := taskset.MustNew(
+			taskset.Task{Name: "hard", Priority: 10, Period: ms(100), Deadline: ms(100), Cost: ms(30)},
+		)
+		srv := &aperiodic.PollingServer{
+			Task: taskset.Task{Name: "server", Priority: 5, Period: ms(50), Deadline: ms(50), Cost: ms(10)},
+			Requests: []aperiodic.Request{
+				{ID: "a", Arrival: vtime.AtMillis(300), Cost: ms(20)},
+				{ID: "b", Arrival: vtime.AtMillis(300), Cost: ms(20)},
+				{ID: "c", Arrival: vtime.AtMillis(300), Cost: ms(20)},
+			},
+		}
+		e, served, err := srv.Run(periodic, nil, vtime.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range e.Jobs("hard") {
+			if j.Done() && j.Missed() {
+				b.Fatal("hard task missed under aperiodic burst")
+			}
+		}
+		done := 0
+		var worst vtime.Duration
+		for _, r := range served {
+			if r.Done {
+				done++
+				if r.Response > worst {
+					worst = r.Response
+				}
+			}
+		}
+		if done != len(served) {
+			b.Fatalf("burst only %d/%d served within 1s", done, len(served))
+		}
+		b.ReportMetric(float64(worst.Milliseconds()), "worst_response_ms")
+	}
+}
+
+// BenchmarkPriorityAssignment compares RM, DM and Audsley's OPA
+// acceptance on constrained-deadline random sets — the assignment
+// machinery behind the admission control.
+func BenchmarkPriorityAssignment(b *testing.B) {
+	gen := taskset.NewGenerator(17)
+	gen.DeadlineFactor = 0.8
+	sets := make([]*taskset.Set, 24)
+	for i := range sets {
+		s, err := gen.Generate(5, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = s
+	}
+	var rm, dm, opa int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm, dm, opa = 0, 0, 0
+		for _, s := range sets {
+			if sched.Feasible(sched.RateMonotonic(s)) {
+				rm++
+			}
+			if sched.Feasible(sched.DeadlineMonotonic(s)) {
+				dm++
+			}
+			if got, err := sched.Audsley(s); err == nil && sched.Feasible(got) {
+				opa++
+			}
+		}
+	}
+	if opa < dm || dm < rm {
+		b.Fatalf("optimality order violated: RM %d, DM %d, OPA %d", rm, dm, opa)
+	}
+	b.ReportMetric(float64(rm), "rm_feasible")
+	b.ReportMetric(float64(dm), "dm_feasible")
+	b.ReportMetric(float64(opa), "opa_feasible")
+}
+
+// BenchmarkSweepBlocking (X9, §7) regenerates the blocking-vs-
+// allowance trade-off table.
+func BenchmarkSweepBlocking(b *testing.B) {
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = experiments.BlockingSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("empty sweep")
+	}
+}

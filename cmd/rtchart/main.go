@@ -1,0 +1,104 @@
+// Command rtchart is the paper's second measurement tool: it turns a
+// log produced by cmd/rtrun into a time-series chart — ASCII on
+// stdout by default, or an SVG document with -svg.
+//
+// Usage:
+//
+//	rtchart -log run.log -from 990 -to 1140 [-cell 2] [-svg out.svg]
+//	        [-tasks tau1,tau2,tau3] [-deadlines tau1:70,tau2:120]
+//	        [-wcrt tau1:29,tau2:58,tau3:87]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		logPath   = flag.String("log", "", "trace log file (required, '-' for stdin)")
+		fromMS    = flag.Int64("from", 0, "window start (ms)")
+		toMS      = flag.Int64("to", 0, "window end (ms; 0 = start+200)")
+		cellMS    = flag.Int64("cell", 2, "ASCII cell width in ms")
+		svgPath   = flag.String("svg", "", "write an SVG chart to this file instead of ASCII stdout")
+		taskList  = flag.String("tasks", "", "lane order, comma separated (default: sorted)")
+		deadlines = flag.String("deadlines", "", "deadline markers: task:ms, comma separated")
+		wcrts     = flag.String("wcrt", "", "WCRT markers: task:ms, comma separated")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "rtchart: -log is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if *logPath != "-" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	log, err := trace.Decode(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *toMS == 0 {
+		*toMS = *fromMS + 200
+	}
+	opts := chart.Options{
+		From:   vtime.AtMillis(*fromMS),
+		To:     vtime.AtMillis(*toMS),
+		CellMS: *cellMS,
+	}
+	if *taskList != "" {
+		opts.Tasks = strings.Split(*taskList, ",")
+	}
+	wm, err := parseMarks(*wcrts)
+	if err != nil {
+		fatal(err)
+	}
+	opts.WCRTMarks = wm
+	dm, err := parseMarks(*deadlines)
+	if err != nil {
+		fatal(err)
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(chart.SVG(log, opts, dm)), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(chart.ASCII(log, opts, dm))
+}
+
+func parseMarks(spec string) (map[string]vtime.Duration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]vtime.Duration{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("rtchart: marker %q is not task:ms", part)
+		}
+		d, err := vtime.ParseDuration(val)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = d
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtchart:", err)
+	os.Exit(1)
+}

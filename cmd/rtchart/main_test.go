@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestParseMarks(t *testing.T) {
+	m, err := parseMarks("tau1:29,tau2:58,tau3:87")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m["tau1"] != vtime.Millis(29) || m["tau3"] != vtime.Millis(87) {
+		t.Errorf("marks = %v", m)
+	}
+	// Unit suffixes pass through ParseDuration.
+	m, err = parseMarks("a:1.5ms")
+	if err != nil || m["a"] != vtime.Millis(1)+vtime.Micros(500) {
+		t.Errorf("fractional mark: %v, %v", m, err)
+	}
+	if got, err := parseMarks(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"tau1", "tau1:xx"} {
+		if _, err := parseMarks(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}

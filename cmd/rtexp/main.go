@@ -1,0 +1,154 @@
+// Command rtexp regenerates every table and figure of the paper's
+// evaluation, plus the extension sweeps catalogued in DESIGN.md §4.
+//
+// Usage:
+//
+//	rtexp                 # run everything
+//	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x5
+//	rtexp -svg charts/    # additionally write one SVG per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "artefact to regenerate")
+		svgDir = flag.String("svg", "", "directory to write per-figure SVG charts")
+	)
+	flag.Parse()
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "rtexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table1", func() error {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable3(rows))
+		return nil
+	})
+	for _, fig := range []experiments.Figure{
+		experiments.Figure3, experiments.Figure4, experiments.Figure5,
+		experiments.Figure6, experiments.Figure7,
+	} {
+		fig := fig
+		run(fmt.Sprintf("fig%d", int(fig)), func() error { return runFigure(fig, *svgDir) })
+	}
+	run("x1", func() error {
+		points, err := experiments.DetectorOverheadSweep([]int{2, 4, 8, 16}, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println("X1 — detector overhead vs task count")
+		fmt.Printf("%6s %10s %10s %12s\n", "tasks", "detectors", "switches", "traceBytes")
+		for _, p := range points {
+			fmt.Printf("%6d %10v %10d %12d\n", p.Tasks, p.Detectors, p.Switches, p.TraceBytes)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("x2", func() error {
+		points, err := experiments.FaultMagnitudeSweep(vtime.Millis(60), vtime.Millis(5))
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSweep(points))
+		return nil
+	})
+	run("x3", func() error {
+		points, err := experiments.TimerResolutionSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Println("X3 — timer resolution sensitivity")
+		fmt.Printf("%12s %-20s %10s %10s\n", "resolution", "treatment", "tau1Ran", "collateral")
+		for _, p := range points {
+			fmt.Printf("%12v %-20s %10v %10d\n", p.Resolution, p.Treatment, p.Tau1Ran, p.Collateral)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("x9", func() error {
+		out, err := experiments.BlockingSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	})
+	run("x5", func() error {
+		points, err := experiments.AcceptanceSweep(
+			[]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, 200, 5, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAcceptance(points))
+		return nil
+	})
+}
+
+func runFigure(fig experiments.Figure, svgDir string) error {
+	res, err := experiments.RunFigure(fig)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderOutcome(experiments.Outcome(fig, res)))
+	from, to := experiments.FigureWindow()
+	opts := chart.Options{
+		From: from, To: to, CellMS: 2,
+		Tasks: []string{"tau1", "tau2", "tau3"},
+		WCRTMarks: map[string]vtime.Duration{
+			"tau1": res.Allowance.WCRT[0],
+			"tau2": res.Allowance.WCRT[1],
+			"tau3": res.Allowance.WCRT[2],
+		},
+	}
+	deadlines := map[string]vtime.Duration{
+		"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120),
+	}
+	fmt.Println(chart.ASCII(res.Log, opts, deadlines))
+	fmt.Println(metrics.Analyze(res.Log).Render())
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(svgDir, fmt.Sprintf("figure%d.svg", int(fig)))
+		if err := os.WriteFile(path, []byte(chart.SVG(res.Log, opts, deadlines)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command rtrun is the paper's first measurement tool: it parses a
+// file which describes the tasks in the system, builds and runs the
+// tasks automatically, and writes the collected key dates to a log
+// file that cmd/rtchart can turn into a time-series chart.
+//
+// Usage:
+//
+//	rtrun -tasks system.tasks [-treatment stop] [-horizon 3000]
+//	      [-fault tau1:5:40] [-resolution 10] [-o run.log]
+//
+// The -fault flag injects a cost overrun (task:job:extraMS) like the
+// paper's §6 voluntary overrun on the priority task.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		tasksPath  = flag.String("tasks", "", "task description file (required)")
+		treatment  = flag.String("treatment", "none", "fault treatment: none|detect|stop|equitable|system")
+		horizonMS  = flag.Int64("horizon", 3000, "simulated horizon in milliseconds")
+		faultSpec  = flag.String("fault", "", "inject a cost overrun: task:job:extraMS (repeatable, comma separated)")
+		resolution = flag.Int64("resolution", 10, "detector timer resolution in ms (0 = exact)")
+		outPath    = flag.String("o", "", "log output file (default stdout)")
+		summary    = flag.Bool("summary", true, "print the per-task summary to stderr")
+	)
+	flag.Parse()
+	if *tasksPath == "" {
+		fmt.Fprintln(os.Stderr, "rtrun: -tasks is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tasksPath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := taskset.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := parseTreatment(*treatment)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := parseFaults(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Tasks:           set,
+		Treatment:       tr,
+		Faults:          plan,
+		Horizon:         vtime.Millis(*horizonMS),
+		TimerResolution: vtime.Millis(*resolution),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+	}
+	if err := res.Log.Encode(out); err != nil {
+		fatal(err)
+	}
+	if *summary {
+		fmt.Fprint(os.Stderr, res.Report.Render())
+	}
+}
+
+func parseTreatment(s string) (detect.Treatment, error) {
+	switch s {
+	case "none":
+		return detect.NoDetection, nil
+	case "detect":
+		return detect.DetectOnly, nil
+	case "stop":
+		return detect.Stop, nil
+	case "equitable":
+		return detect.Equitable, nil
+	case "system":
+		return detect.SystemAllowance, nil
+	}
+	return 0, fmt.Errorf("rtrun: unknown treatment %q", s)
+}
+
+func parseFaults(spec string) (fault.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := fault.Plan{}
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("rtrun: fault spec %q is not task:job:extraMS", part)
+		}
+		job, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rtrun: fault job: %v", err)
+		}
+		extra, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rtrun: fault extra: %v", err)
+		}
+		plan[fields[0]] = fault.OverrunAt{Job: job, Extra: vtime.Millis(extra)}
+	}
+	return plan, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtrun:", err)
+	os.Exit(1)
+}

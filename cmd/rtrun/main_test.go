@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/vtime"
+)
+
+func TestParseTreatment(t *testing.T) {
+	want := map[string]detect.Treatment{
+		"none":      detect.NoDetection,
+		"detect":    detect.DetectOnly,
+		"stop":      detect.Stop,
+		"equitable": detect.Equitable,
+		"system":    detect.SystemAllowance,
+	}
+	for in, tr := range want {
+		got, err := parseTreatment(in)
+		if err != nil || got != tr {
+			t.Errorf("parseTreatment(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseTreatment("explode"); err == nil {
+		t.Error("unknown treatment must error")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	plan, err := parseFaults("tau1:5:40,tau2:0:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := plan["tau1"].(fault.OverrunAt)
+	if !ok || m.Job != 5 || m.Extra != vtime.Millis(40) {
+		t.Errorf("tau1 model = %+v", plan["tau1"])
+	}
+	if _, ok := plan["tau2"]; !ok {
+		t.Error("tau2 model missing")
+	}
+	empty, err := parseFaults("")
+	if err != nil || empty != nil {
+		t.Errorf("empty spec: %v, %v", empty, err)
+	}
+	for _, bad := range []string{"tau1:5", "tau1:x:40", "tau1:5:x", "justname"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "Fault Tolerance
+// with Real-Time Java" (Damien Masson and Serge Midonnet, WPDRTS/IPPS
+// 2006): admission control for fixed-priority periodic task systems
+// (exact worst-case response-time analysis with arbitrary deadlines),
+// temporal-fault detectors armed at each task's WCRT, and three fault
+// treatments (immediate stop, equitable allowance, system allowance).
+//
+// The paper ran on the jRate RTSJ virtual machine over a TimeSys
+// real-time kernel; this reproduction substitutes a deterministic
+// discrete-event uniprocessor simulator with a nanosecond virtual
+// clock (Go's garbage collector makes wall-clock hard real time
+// unattainable, and virtual time makes every published figure exactly
+// and deterministically reproducible). See DESIGN.md for the complete
+// substitution table and system inventory, and EXPERIMENTS.md for
+// paper-versus-measured results on every table and figure.
+//
+// Layout:
+//
+//   - internal/analysis — admission control (paper Section 2)
+//   - internal/allowance — tolerance factors (Section 4.2/4.3)
+//   - internal/detect — detectors and treatments (Sections 3–4)
+//   - internal/engine — the simulated RT platform
+//   - internal/rtsj — RTSJ-flavoured API (RealtimeThreadExtended…)
+//   - internal/baselines — best-effort/RED/D-over comparators
+//   - internal/experiments — one constructor per table and figure
+//   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp — tools
+//   - examples/ — five runnable walkthroughs
+//
+// The benchmark harness in bench_test.go regenerates every published
+// artefact: go test -bench=. -benchmem.
+package repro

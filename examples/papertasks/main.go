@@ -1,0 +1,45 @@
+// Papertasks replays the paper's whole evaluation (Section 6): the
+// Table 2 system with the voluntary cost overrun on τ1, executed under
+// all five configurations — Figures 3 through 7 — with an ASCII chart
+// and the per-task outcome for each.
+//
+//	go run ./examples/papertasks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+	"repro/internal/vtime"
+)
+
+func main() {
+	for _, fig := range []experiments.Figure{
+		experiments.Figure3, experiments.Figure4, experiments.Figure5,
+		experiments.Figure6, experiments.Figure7,
+	} {
+		res, err := experiments.RunFigure(fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := experiments.Outcome(fig, res)
+		fmt.Println(experiments.RenderOutcome(o))
+		from, to := experiments.FigureWindow()
+		fmt.Println(chart.ASCII(res.Log, chart.Options{
+			From: from, To: to, CellMS: 2,
+			Tasks: []string{"tau1", "tau2", "tau3"},
+			WCRTMarks: map[string]vtime.Duration{
+				"tau1": res.Allowance.WCRT[0],
+				"tau2": res.Allowance.WCRT[1],
+				"tau3": res.Allowance.WCRT[2],
+			},
+		}, map[string]vtime.Duration{
+			"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120),
+		}))
+	}
+	fmt.Println("Compare with the paper: Fig 3/4 lose tau3 at 1120 ms; Fig 5 stops tau1 at 1030;")
+	fmt.Println("Fig 6 stops tau1 at 1040 (WCRT+11); Fig 7 stops tau1 at 1062 (WCRT+33) and")
+	fmt.Println("tau2/tau3 finish just before their deadlines (1091 and exactly 1120).")
+}

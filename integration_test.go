@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestEndToEndPipeline exercises the full measurement pipeline the
+// paper describes in §5: parse the task file, build and run the
+// system, write the log, parse it back, chart it, and summarize — all
+// against the shipped Figure task file.
+func TestEndToEndPipeline(t *testing.T) {
+	f, err := os.Open("testdata/figures.tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := taskset.Parse(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Tasks:           set,
+		Treatment:       detect.SystemAllowance,
+		Faults:          fault.Plan{"tau1": fault.OverrunAt{Job: 5, Extra: ms(40)}},
+		Horizon:         vtime.Millis(1500),
+		TimerResolution: detect.DefaultTimerResolution,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Log round-trips through the on-disk format.
+	encoded := res.Log.EncodeString()
+	back, err := trace.DecodeString(encoded)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Len() != res.Log.Len() {
+		t.Fatalf("round trip: %d vs %d events", back.Len(), res.Log.Len())
+	}
+
+	// The decoded log supports the same analysis.
+	rep := metrics.Analyze(back)
+	j1, ok := rep.Job("tau1", 5)
+	if !ok || !j1.Stopped || j1.End != vtime.AtMillis(1062) {
+		t.Fatalf("tau1#5 from decoded log: %+v", j1)
+	}
+	j3, _ := rep.Job("tau3", 0)
+	if j3.Failed() || j3.End != vtime.AtMillis(1120) {
+		t.Fatalf("tau3#0 from decoded log: %+v", j3)
+	}
+
+	// Charting the decoded log shows the stop and the grant window.
+	out := chart.ASCII(back, chart.Options{
+		From: vtime.AtMillis(990), To: vtime.AtMillis(1140), CellMS: 2,
+		Tasks: []string{"tau1", "tau2", "tau3"},
+	}, map[string]vtime.Duration{"tau1": ms(70), "tau2": ms(120), "tau3": ms(120)})
+	if !strings.Contains(out, "X") || !strings.Contains(out, "◆") {
+		t.Fatalf("chart from decoded log lacks glyphs:\n%s", out)
+	}
+}
+
+// TestShippedTaskFilesParse validates every task file under testdata.
+func TestShippedTaskFilesParse(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".tasks") {
+			continue
+		}
+		n++
+		f, err := os.Open("testdata/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := taskset.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty set", e.Name())
+		}
+	}
+	if n < 3 {
+		t.Fatalf("expected at least 3 shipped task files, found %d", n)
+	}
+}

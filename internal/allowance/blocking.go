@@ -1,0 +1,93 @@
+package allowance
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+)
+
+// EquitableWithBlocking answers the paper's §7 question — "it would
+// be advisable to study the influence of tolerance on the
+// determination of the blocking time (bi)" — in the forward
+// direction: the equitable allowance of a system whose tasks incur
+// the given blocking terms. Blocking consumes slack exactly like
+// extra cost at the blocked task's level, so the allowance shrinks
+// monotonically with every b_i.
+func EquitableWithBlocking(s *taskset.Set, blocking []vtime.Duration, granularity vtime.Duration) (vtime.Duration, error) {
+	return search(granularity, func(delta vtime.Duration) (bool, error) {
+		return feasibleBlocked(s.WithCostDelta(delta), blocking)
+	})
+}
+
+// MaxBlockingTolerance is the converse direction: the largest uniform
+// blocking term every task could incur while the system stays
+// feasible *with* the equitable allowance already granted — i.e. how
+// much lock contention the §4.2 treatment leaves room for.
+func MaxBlockingTolerance(s *taskset.Set, allowanceGrant vtime.Duration, granularity vtime.Duration) (vtime.Duration, error) {
+	inflated := s.WithCostDelta(allowanceGrant)
+	return search(granularity, func(b vtime.Duration) (bool, error) {
+		blocking := make([]vtime.Duration, s.Len())
+		for i := range blocking {
+			blocking[i] = b
+		}
+		return feasibleBlocked(inflated, blocking)
+	})
+}
+
+func feasibleBlocked(s *taskset.Set, blocking []vtime.Duration) (bool, error) {
+	for _, t := range s.Tasks {
+		if t.Cost > t.Deadline {
+			return false, nil
+		}
+	}
+	ok, err := analysis.FeasibleWithBlocking(s, blocking)
+	if err != nil {
+		return false, nil // unbounded at some level: infeasible
+	}
+	return ok, nil
+}
+
+// BlockingTable reports, for a range of uniform blocking terms, the
+// equitable allowance that survives — the §7 interaction quantified.
+type BlockingTable struct {
+	Blocking  []vtime.Duration
+	Allowance []vtime.Duration
+}
+
+// SweepBlocking computes the allowance at each uniform blocking term
+// in steps of step up to max. Entries where the system is infeasible
+// even without any overrun carry a -1 sentinel.
+func SweepBlocking(s *taskset.Set, max, step vtime.Duration, granularity vtime.Duration) (*BlockingTable, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("allowance: step must be positive")
+	}
+	var tab BlockingTable
+	for b := vtime.Duration(0); b <= max; b += step {
+		blocking := make([]vtime.Duration, s.Len())
+		for i := range blocking {
+			blocking[i] = b
+		}
+		a, err := searchWithBase(granularity, func(delta vtime.Duration) (bool, error) {
+			return feasibleBlocked(s.WithCostDelta(delta), blocking)
+		})
+		tab.Blocking = append(tab.Blocking, b)
+		tab.Allowance = append(tab.Allowance, a)
+		_ = err
+	}
+	return &tab, nil
+}
+
+// searchWithBase is search, but an infeasible base yields -1 instead
+// of an error (for sweeps that intentionally cross the boundary).
+func searchWithBase(granularity vtime.Duration, ok func(vtime.Duration) (bool, error)) (vtime.Duration, error) {
+	a, err := search(granularity, ok)
+	if err != nil {
+		if feas, ferr := ok(0); ferr == nil && !feas {
+			return -1, nil
+		}
+		return 0, err
+	}
+	return a, nil
+}

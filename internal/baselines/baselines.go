@@ -1,0 +1,227 @@
+// Package baselines implements the overload-handling schedulers the
+// paper positions its approach against (§1): "an approach usually met
+// in the literature is to install overload detection and treatment
+// mechanisms [12, 9, 5]" — Locke's best-effort value-density
+// scheduling [12], Koren & Shasha's D-over [9], and Buttazzo &
+// Stankovic's RED (robust earliest deadline) [5]. All three are
+// dynamic-priority policies built on the same simulation engine, so
+// the X4 extension experiment can compare them with the paper's
+// admission-control-plus-detectors approach under identical faults.
+//
+// The implementations follow the published algorithms' decision
+// structure (EDF ordering; value-based shedding on overload;
+// admission-time rejection for RED; latest-start-time abandonment for
+// D-over) at the granularity the engine exposes. They are faithful
+// baselines for shape comparison, not bit-exact reimplementations of
+// the original schedulers' bookkeeping.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/vtime"
+)
+
+// EDF is plain earliest-deadline-first: optimal when U ≤ 1 but
+// subject to the domino effect under overload — the motivation for
+// the three robust variants below.
+type EDF struct{}
+
+// Name returns "edf".
+func (EDF) Name() string { return "edf" }
+
+// Better prefers the earlier absolute deadline.
+func (EDF) Better(a, b *engine.Job) bool {
+	if a.AbsDeadline != b.AbsDeadline {
+		return a.AbsDeadline.Before(b.AbsDeadline)
+	}
+	if a.Release != b.Release {
+		return a.Release.Before(b.Release)
+	}
+	return a.TaskName() < b.TaskName()
+}
+
+// Admit accepts every job.
+func (EDF) Admit(*engine.Engine, *engine.Job) bool { return true }
+
+// valueDensity is the Locke heuristic: value per unit of remaining
+// computation.
+func valueDensity(j *engine.Job) float64 {
+	rem := float64(j.Remaining()) / float64(vtime.Millisecond)
+	if rem <= 0 {
+		rem = 1e-9
+	}
+	return j.Task().EffectiveValue() / rem
+}
+
+// overloaded checks EDF schedulability of the jobs at instant now:
+// processing them in deadline order, does any cumulative completion
+// overshoot its deadline? Returns the first failing index (into the
+// deadline-sorted slice) or -1.
+func overloaded(now vtime.Time, jobs []*engine.Job) (sorted []*engine.Job, failIdx int) {
+	sorted = append(sorted, jobs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].AbsDeadline != sorted[j].AbsDeadline {
+			return sorted[i].AbsDeadline.Before(sorted[j].AbsDeadline)
+		}
+		return sorted[i].TaskName() < sorted[j].TaskName()
+	})
+	t := now
+	for i, j := range sorted {
+		t = t.Add(j.Remaining())
+		if t.After(j.AbsDeadline) {
+			return sorted, i
+		}
+	}
+	return sorted, -1
+}
+
+// BestEffort is Locke's best-effort scheduler [12]: EDF ordering
+// with value-density shedding when the ready set becomes overloaded.
+// On each release that creates an overload, the lowest value-density
+// jobs among those at or before the failing point are abandoned until
+// the remainder is schedulable.
+type BestEffort struct{ EDF }
+
+// Name returns "best-effort".
+func (BestEffort) Name() string { return "best-effort" }
+
+// Admit sheds on overload. The released job itself may be the victim
+// (return false); already-queued victims are stopped via the engine.
+func (BestEffort) Admit(e *engine.Engine, j *engine.Job) bool {
+	now := e.Now()
+	candidate := append(e.ReadyJobs(), j)
+	for {
+		sorted, fail := overloaded(now, candidate)
+		if fail < 0 {
+			return true
+		}
+		// Shed the lowest value-density job among sorted[0..fail].
+		victim := sorted[0]
+		for _, s := range sorted[1 : fail+1] {
+			if valueDensity(s) < valueDensity(victim) {
+				victim = s
+			}
+		}
+		if victim == j {
+			return false
+		}
+		e.StopJob(victim.TaskName(), victim.Q, now)
+		candidate = removeJob(candidate, victim)
+	}
+}
+
+// RED is Buttazzo & Stankovic's robust earliest deadline [5]: an
+// admission-time guarantee test. A released job is accepted only if
+// the ready set plus the newcomer is EDF-schedulable; otherwise the
+// newcomer is rejected outright unless its value exceeds that of a
+// set of lesser jobs whose removal restores schedulability (the
+// recovery strategy), in which case those are shed instead.
+type RED struct{ EDF }
+
+// Name returns "red".
+func (RED) Name() string { return "red" }
+
+// Admit runs the guarantee routine.
+func (RED) Admit(e *engine.Engine, j *engine.Job) bool {
+	now := e.Now()
+	candidate := append(e.ReadyJobs(), j)
+	if _, fail := overloaded(now, candidate); fail < 0 {
+		return true
+	}
+	// Recovery: find the cheapest set of other jobs whose removal
+	// admits j; greedy by ascending value.
+	others := removeJob(append([]*engine.Job(nil), candidate...), j)
+	sort.Slice(others, func(a, b int) bool {
+		return others[a].Task().EffectiveValue() < others[b].Task().EffectiveValue()
+	})
+	var shed []*engine.Job
+	kept := append([]*engine.Job(nil), candidate...)
+	sacrificed := 0.0
+	for _, victim := range others {
+		if sacrificed >= j.Task().EffectiveValue() {
+			break // not worth it: reject the newcomer
+		}
+		kept = removeJob(kept, victim)
+		shed = append(shed, victim)
+		sacrificed += victim.Task().EffectiveValue()
+		if _, fail := overloaded(now, kept); fail < 0 {
+			if sacrificed >= j.Task().EffectiveValue() {
+				return false // the shed set is worth more than j
+			}
+			for _, v := range shed {
+				e.StopJob(v.TaskName(), v.Q, now)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DOver approximates Koren & Shasha's D-over [9]: EDF until a job
+// reaches its latest start time (LST = deadline − remaining work)
+// while not executing; at that moment the scheduler keeps whichever
+// of {LST job, running set} carries more value, abandoning the other.
+type DOver struct{ EDF }
+
+// Name returns "d-over".
+func (DOver) Name() string { return "d-over" }
+
+// Admit always accepts, but arms an LST watchdog for the job.
+func (DOver) Admit(e *engine.Engine, j *engine.Job) bool {
+	task := j.TaskName()
+	q := j.Q
+	var arm func(at vtime.Time)
+	arm = func(at vtime.Time) {
+		e.Schedule(at, func(now vtime.Time) {
+			jj, ok := e.JobAt(task, q)
+			if !ok || jj.Done() {
+				return
+			}
+			lst := jj.AbsDeadline.Add(-jj.Remaining())
+			if lst.After(now) {
+				arm(lst) // received CPU since; re-arm at the new LST
+				return
+			}
+			// At (or past) the LST and still not finished: compare
+			// against the competing ready jobs with earlier
+			// deadlines; abandon the side with less value.
+			best := jj
+			for _, r := range e.ReadyJobs() {
+				if r == jj || r.Done() {
+					continue
+				}
+				if r.AbsDeadline.Before(jj.AbsDeadline) || (DOver{}).Better(r, jj) {
+					if r.Task().EffectiveValue() > best.Task().EffectiveValue() {
+						best = r
+					}
+				}
+			}
+			if best == jj {
+				// jj wins: shed every earlier-deadline competitor so
+				// jj runs immediately.
+				for _, r := range e.ReadyJobs() {
+					if r != jj && (DOver{}).Better(r, jj) {
+						e.StopJob(r.TaskName(), r.Q, now)
+					}
+				}
+			} else {
+				e.StopJob(task, q, now)
+			}
+		})
+	}
+	arm(j.AbsDeadline.Add(-j.Remaining()))
+	return true
+}
+
+// removeJob returns jobs without the victim (pointer identity).
+func removeJob(jobs []*engine.Job, victim *engine.Job) []*engine.Job {
+	out := jobs[:0]
+	for _, j := range jobs {
+		if j != victim {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package core is the library facade of the reproduction: it wires
+// admission control (package analysis), the allowance computation
+// (package allowance), the simulated real-time platform (package
+// engine) and the fault detectors and treatments (package detect)
+// into a single System that mirrors the paper's workflow — parse the
+// tasks, run admission control, start the system with detectors, and
+// collect the time-series log.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/allowance"
+	"repro/internal/analysis"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Config assembles a fault-tolerant real-time system run.
+type Config struct {
+	// Tasks is the periodic task system.
+	Tasks *taskset.Set
+	// Treatment selects the paper's fault response (§4); the zero
+	// value is NoDetection (Figure 3).
+	Treatment detect.Treatment
+	// Faults injects cost overruns per task (nil = fault free).
+	Faults fault.Plan
+	// Horizon is the simulated duration (must be positive).
+	Horizon vtime.Duration
+	// TimerResolution quantizes detector releases (0 = exact;
+	// detect.DefaultTimerResolution reproduces jRate's 10 ms).
+	TimerResolution vtime.Duration
+	// StopPoll is the stop-flag poll granularity (§4.1; 0 = 1 ms).
+	StopPoll vtime.Duration
+	// StopJitterMax bounds the unbounded-cost poll jitter (§4.1).
+	StopJitterMax vtime.Duration
+	// Seed drives all randomness (stop jitter).
+	Seed uint64
+	// ContextSwitch charges a dispatch-switch overhead.
+	ContextSwitch vtime.Duration
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Log is the recorded time series (the paper's log file).
+	Log *trace.Log
+	// Report summarizes jobs and tasks from the log.
+	Report *metrics.Report
+	// Admission is the pre-run feasibility report.
+	Admission *analysis.Report
+	// Allowance is the tolerance analysis (nil with NoDetection and
+	// an infeasible-for-allowance system).
+	Allowance *allowance.Table
+	// Detections counts detector-flagged faults.
+	Detections int64
+	// Switches counts dispatch switches (overhead sweeps).
+	Switches int64
+}
+
+// System is a configured, not-yet-run reproduction instance.
+type System struct {
+	cfg Config
+	sup *detect.Supervisor
+	adm *analysis.Report
+}
+
+// NewSystem validates the configuration and performs the paper's
+// admission control. It fails when the declared system is not
+// theoretically feasible — the paper's detectors presuppose an
+// admitted system whose WCRTs exist.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Tasks == nil {
+		return nil, fmt.Errorf("core: no tasks configured")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon must be positive")
+	}
+	adm, err := analysis.Feasible(cfg.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	if !adm.Feasible {
+		return nil, fmt.Errorf("core: admission control rejects the system (misses: %v)", adm.Misses)
+	}
+	sup, err := detect.NewSupervisor(cfg.Tasks, detect.Config{
+		Treatment:       cfg.Treatment,
+		TimerResolution: cfg.TimerResolution,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, sup: sup}, nil
+}
+
+// Admission returns the pre-run feasibility report.
+func (s *System) Admission() *analysis.Report {
+	if s.adm == nil {
+		s.adm, _ = analysis.Feasible(s.cfg.Tasks)
+	}
+	return s.adm
+}
+
+// Allowance returns the tolerance table backing the treatments.
+func (s *System) Allowance() *allowance.Table { return s.sup.Table() }
+
+// Supervisor exposes the detector supervisor (for dynamic admission).
+func (s *System) Supervisor() *detect.Supervisor { return s.sup }
+
+// Run simulates the system to the horizon and returns the result.
+// Run may be called once per System; build a fresh System to re-run.
+func (s *System) Run() (*Result, error) {
+	eng, err := engine.New(engine.Config{
+		Tasks:         s.cfg.Tasks,
+		Faults:        s.cfg.Faults,
+		End:           vtime.Time(s.cfg.Horizon),
+		StopPoll:      s.cfg.StopPoll,
+		StopJitterMax: s.cfg.StopJitterMax,
+		Seed:          s.cfg.Seed,
+		ContextSwitch: s.cfg.ContextSwitch,
+		Hooks:         s.sup.Hooks(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sup.Attach(eng)
+	log := eng.Run()
+	return &Result{
+		Log:        log,
+		Report:     metrics.Analyze(log),
+		Admission:  s.Admission(),
+		Allowance:  s.sup.Table(),
+		Detections: s.sup.Detections(),
+		Switches:   eng.Switches(),
+	}, nil
+}
+
+// RunWith exposes the engine to a caller-driven scenario (dynamic
+// admission examples): setup runs after detectors are attached and
+// may schedule events on the engine before it starts.
+func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (*Result, error) {
+	eng, err := engine.New(engine.Config{
+		Tasks:         s.cfg.Tasks,
+		Faults:        s.cfg.Faults,
+		End:           vtime.Time(s.cfg.Horizon),
+		StopPoll:      s.cfg.StopPoll,
+		StopJitterMax: s.cfg.StopJitterMax,
+		Seed:          s.cfg.Seed,
+		ContextSwitch: s.cfg.ContextSwitch,
+		Hooks:         s.sup.Hooks(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sup.Attach(eng)
+	if setup != nil {
+		setup(eng, s.sup)
+	}
+	log := eng.Run()
+	return &Result{
+		Log:        log,
+		Report:     metrics.Analyze(log),
+		Admission:  s.Admission(),
+		Allowance:  s.sup.Table(),
+		Detections: s.sup.Detections(),
+		Switches:   eng.Switches(),
+	}, nil
+}

@@ -1,0 +1,625 @@
+// Package engine simulates the paper's execution platform: a
+// uniprocessor running a set of periodic real-time tasks under a
+// preemptive scheduler, with nanosecond virtual time. It substitutes
+// for the paper's jRate virtual machine on a TimeSys real-time kernel
+// (see DESIGN.md §2): the scheduling decisions — who runs when, who
+// preempts whom, who misses a deadline — are identical in kind, while
+// the clock is virtual and fully deterministic.
+//
+// The engine is event driven: job releases, deadline checks, timers
+// (used by the detectors of package detect) and predicted completions
+// are heap-ordered events; between events the running job consumes
+// CPU linearly. Stops follow the paper's §4.1 semantics: a task
+// cannot be killed, it polls a boolean between instructions, so a stop
+// request takes effect only at the job's next poll boundary, possibly
+// inflated by an unbounded-cost jitter term.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Tasks is the static task system started at time zero.
+	Tasks *taskset.Set
+	// Faults maps task names to fault models (nil = fault free).
+	Faults fault.Plan
+	// End is the simulation horizon; events strictly later are not
+	// processed.
+	End vtime.Time
+	// Policy orders ready jobs; nil means fixed-priority preemptive,
+	// the scheduler all RTSJ implementations must offer.
+	Policy Policy
+	// StopPoll is the granularity at which tasks poll their stop
+	// flag (paper §4.1: the flag "is checked after each instruction
+	// of the loop"). A stop request takes effect at the job's next
+	// multiple of StopPoll of executed time. Zero means 1 ms.
+	StopPoll vtime.Duration
+	// StopJitterMax bounds the extra cost of the poll through
+	// RealtimeThread.currentRealtimeThread(), "the cost of which is
+	// not bounded" (§4.1). Each effective stop consumes an
+	// additional uniform draw in [0, StopJitterMax]. Zero disables.
+	StopJitterMax vtime.Duration
+	// Seed drives the stop-jitter RNG.
+	Seed uint64
+	// ContextSwitch is charged to the incoming job at every dispatch
+	// switch (zero by default; used by the detector-overhead sweep).
+	ContextSwitch vtime.Duration
+	// Log receives trace events; a fresh log is created when nil.
+	Log *trace.Log
+	// Hooks observe the run (all optional).
+	Hooks Hooks
+}
+
+// Hooks are observation points used by the fault-tolerance supervisor
+// and by tests.
+type Hooks struct {
+	// OnRelease fires after a job is released and admitted.
+	OnRelease func(e *Engine, j *Job)
+	// OnFinish fires when a job completes its work.
+	OnFinish func(e *Engine, j *Job)
+	// OnStopped fires when a job terminates early on its stop flag.
+	OnStopped func(e *Engine, j *Job)
+	// OnTaskAdded fires when dynamic admission adds a task.
+	OnTaskAdded func(e *Engine, task string)
+}
+
+// Policy orders the ready queue and admits released jobs. The
+// fixed-priority policy admits everything; the overload baselines
+// (package baselines) shed load here.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Better reports whether job a should run in preference to b.
+	// It must be a strict weak ordering for determinism.
+	Better(a, b *Job) bool
+	// Admit is consulted at release; returning false drops the job
+	// (it is recorded as released, then immediately abandoned).
+	Admit(e *Engine, j *Job) bool
+}
+
+// FixedPriority is the preemptive fixed-priority policy of the paper:
+// larger task priority wins; ties (impossible within a validated set)
+// fall back to release order then task id.
+type FixedPriority struct{}
+
+// Name returns "fixed-priority".
+func (FixedPriority) Name() string { return "fixed-priority" }
+
+// Better prefers the higher-priority task.
+func (FixedPriority) Better(a, b *Job) bool {
+	if a.task.task.Priority != b.task.task.Priority {
+		return a.task.task.Priority > b.task.task.Priority
+	}
+	if a.Release != b.Release {
+		return a.Release.Before(b.Release)
+	}
+	return a.task.id < b.task.id
+}
+
+// Admit accepts every job.
+func (FixedPriority) Admit(*Engine, *Job) bool { return true }
+
+// Job is one activation of a periodic task.
+type Job struct {
+	task *taskState
+	// Q is the 0-based job index.
+	Q int64
+	// Release is the activation instant.
+	Release vtime.Time
+	// AbsDeadline = Release + D.
+	AbsDeadline vtime.Time
+	// Actual is the job's true demand (nominal cost ± fault delta).
+	Actual vtime.Duration
+	// Executed is the CPU time consumed so far.
+	Executed vtime.Duration
+	// FinishedAt is the completion or stop instant (valid if done).
+	FinishedAt vtime.Time
+
+	overhead  vtime.Duration // charged context-switch cost
+	workLimit vtime.Duration // executed-work bound from a stop request
+	limited   bool
+	begun     bool
+	done      bool
+	stopped   bool
+	missed    bool
+	dropped   bool
+}
+
+// TaskName returns the owning task's name.
+func (j *Job) TaskName() string { return j.task.task.Name }
+
+// Task returns a copy of the owning task's parameters.
+func (j *Job) Task() taskset.Task { return j.task.task }
+
+// Done reports whether the job has terminated (completed or stopped).
+func (j *Job) Done() bool { return j.done }
+
+// Stopped reports whether the job was terminated by a stop request
+// before completing its work.
+func (j *Job) Stopped() bool { return j.stopped }
+
+// Missed reports whether the job failed: its deadline passed
+// unfinished, or it was stopped incomplete.
+func (j *Job) Missed() bool { return j.missed || j.stopped }
+
+// Dropped reports whether the policy refused the job at release.
+func (j *Job) Dropped() bool { return j.dropped }
+
+// Remaining returns the work still owed (zero once done).
+func (j *Job) Remaining() vtime.Duration {
+	d := j.demand() - j.Executed
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ResponseTime returns FinishedAt − Release for terminated jobs.
+func (j *Job) ResponseTime() vtime.Duration {
+	return j.FinishedAt.Sub(j.Release)
+}
+
+// demand is the effective work the job will perform before
+// terminating: its actual demand plus charged overhead, truncated by
+// any stop limit.
+func (j *Job) demand() vtime.Duration {
+	d := j.Actual + j.overhead
+	if j.limited && j.workLimit < d {
+		d = j.workLimit
+	}
+	return d
+}
+
+// taskState is the runtime record of one task.
+type taskState struct {
+	task    taskset.Task
+	id      int
+	model   fault.Model
+	nextQ   int64
+	pending []*Job // released, unfinished jobs in FIFO order
+	removed bool
+	// jobs retains every job for metrics (bounded by horizon/period).
+	jobs []*Job
+}
+
+// head returns the task's earliest unfinished job, or nil. Jobs of
+// one task execute in release order: the RTSJ thread is sequential,
+// a late job delays its successors (the arbitrary-deadline model).
+func (ts *taskState) head() *Job {
+	for len(ts.pending) > 0 && ts.pending[0].done {
+		ts.pending = ts.pending[1:]
+	}
+	if len(ts.pending) == 0 {
+		return nil
+	}
+	return ts.pending[0]
+}
+
+// event is a heap entry; fn runs with the clock advanced to at.
+// Events at the same instant run in class order, then insertion
+// order: completions and releases (classNormal) are observed before
+// detector checks (classDetector), which precede deadline checks
+// (classDeadline). A job finishing exactly at its WCRT is therefore
+// not flagged faulty, and a job finishing exactly at its deadline is
+// not a miss — both matching the paper's closed inequalities.
+type event struct {
+	at    vtime.Time
+	class uint8
+	seq   uint64
+	fn    func(now vtime.Time)
+}
+
+// Event classes, in same-instant execution order.
+const (
+	classNormal uint8 = iota
+	classDetector
+	classDeadline
+)
+
+// Engine is the simulation instance. Create with New, drive with Run.
+type Engine struct {
+	cfg    Config
+	log    *trace.Log
+	policy Policy
+	rng    *taskset.Rand
+
+	tasks  []*taskState
+	byName map[string]*taskState
+
+	heap    []event
+	seq     uint64
+	now     vtime.Time
+	running *Job
+	// epoch invalidates stale completion-recheck events.
+	epoch uint64
+
+	switches int64 // dispatch switches, for the overhead sweep
+}
+
+// New validates the configuration and prepares a run.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Tasks == nil || cfg.Tasks.Len() == 0 {
+		return nil, fmt.Errorf("engine: no tasks")
+	}
+	if err := cfg.Tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.End <= 0 {
+		return nil, fmt.Errorf("engine: End horizon must be positive")
+	}
+	if cfg.StopPoll <= 0 {
+		cfg.StopPoll = vtime.Millisecond
+	}
+	e := &Engine{
+		cfg:    cfg,
+		log:    cfg.Log,
+		policy: cfg.Policy,
+		rng:    taskset.NewRand(cfg.Seed),
+		byName: make(map[string]*taskState, cfg.Tasks.Len()),
+	}
+	if e.log == nil {
+		e.log = trace.NewLog(4096)
+	}
+	if e.policy == nil {
+		e.policy = FixedPriority{}
+	}
+	for _, t := range cfg.Tasks.Tasks {
+		e.addTaskState(t, cfg.Faults.For(t.Name))
+	}
+	return e, nil
+}
+
+func (e *Engine) addTaskState(t taskset.Task, m fault.Model) *taskState {
+	ts := &taskState{task: t, id: len(e.tasks), model: m}
+	e.tasks = append(e.tasks, ts)
+	e.byName[t.Name] = ts
+	first := vtime.Time(t.Offset)
+	if first < e.now {
+		first = e.now
+	}
+	e.Schedule(first, func(now vtime.Time) { e.release(ts, now) })
+	return ts
+}
+
+// Now returns the current virtual instant.
+func (e *Engine) Now() vtime.Time { return e.now }
+
+// Log returns the trace log.
+func (e *Engine) Log() *trace.Log { return e.log }
+
+// Switches returns the number of dispatch switches so far.
+func (e *Engine) Switches() int64 { return e.switches }
+
+// PolicyName returns the active policy's name.
+func (e *Engine) PolicyName() string { return e.policy.Name() }
+
+// Record appends a trace event; exported for the supervisor.
+func (e *Engine) Record(ev trace.Event) { e.log.Append(ev) }
+
+// Schedule enqueues fn to run at instant at (clamped to now).
+func (e *Engine) Schedule(at vtime.Time, fn func(now vtime.Time)) {
+	e.scheduleClass(at, classNormal, fn)
+}
+
+// ScheduleDetector enqueues a detector check at instant at: at equal
+// instants it runs after completions but before deadline checks.
+func (e *Engine) ScheduleDetector(at vtime.Time, fn func(now vtime.Time)) {
+	e.scheduleClass(at, classDetector, fn)
+}
+
+func (e *Engine) scheduleClass(at vtime.Time, class uint8, fn func(now vtime.Time)) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap = append(e.heap, event{at: at, class: class, seq: e.seq, fn: fn})
+	e.up(len(e.heap) - 1)
+}
+
+// heap primitives (min-heap on (at, class, seq)).
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	if e.heap[i].class != e.heap[j].class {
+		return e.heap[i].class < e.heap[j].class
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.less(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.less(l, small) {
+			small = l
+		}
+		if r < n && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+}
+
+func (e *Engine) pop() (event, bool) {
+	if len(e.heap) == 0 {
+		return event{}, false
+	}
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	return top, true
+}
+
+// Run executes the simulation to the horizon and returns the log.
+func (e *Engine) Run() *trace.Log {
+	for {
+		ev, ok := e.pop()
+		if !ok || ev.at > e.cfg.End {
+			break
+		}
+		e.advance(ev.at)
+		ev.fn(ev.at)
+		e.finishIfDone(ev.at)
+		e.reschedule(ev.at)
+	}
+	e.advance(e.cfg.End)
+	e.now = e.cfg.End
+	return e.log
+}
+
+// advance accrues CPU time to the running job up to instant t.
+func (e *Engine) advance(t vtime.Time) {
+	if t < e.now {
+		return
+	}
+	if e.running != nil && !e.running.done {
+		e.running.Executed += t.Sub(e.now)
+		if e.running.Executed > e.running.demand() {
+			// Events are placed exactly at predicted completions, so
+			// overshoot indicates an engine bug, not a user error.
+			panic(fmt.Sprintf("engine: job %s#%d executed %v past demand %v",
+				e.running.TaskName(), e.running.Q, e.running.Executed, e.running.demand()))
+		}
+	}
+	e.now = t
+}
+
+// release activates job nextQ of ts and schedules the following one.
+func (e *Engine) release(ts *taskState, now vtime.Time) {
+	if ts.removed {
+		return
+	}
+	q := ts.nextQ
+	ts.nextQ++
+	j := &Job{
+		task:        ts,
+		Q:           q,
+		Release:     now,
+		AbsDeadline: now.Add(ts.task.Deadline),
+		Actual:      ts.model.ActualCost(q, ts.task.Cost),
+	}
+	ts.jobs = append(ts.jobs, j)
+	e.Record(trace.Event{At: now, Kind: trace.JobRelease, Task: ts.task.Name, Job: q})
+	if !e.policy.Admit(e, j) {
+		j.dropped = true
+		j.done = true
+		j.missed = true
+		j.FinishedAt = now
+		// A shed job terminates incomplete at its release: record it
+		// as stopped so trace-based metrics count the failure.
+		e.Record(trace.Event{At: now, Kind: trace.JobStopped, Task: ts.task.Name, Job: q})
+	} else {
+		ts.pending = append(ts.pending, j)
+		// Deadline check: record a miss the instant the deadline
+		// passes with the job unfinished, as the paper's charts do.
+		e.scheduleClass(j.AbsDeadline, classDeadline, func(at vtime.Time) {
+			if !j.done {
+				j.missed = true
+				e.Record(trace.Event{At: at, Kind: trace.DeadlineMiss, Task: ts.task.Name, Job: j.Q})
+			}
+		})
+		if e.cfg.Hooks.OnRelease != nil {
+			e.cfg.Hooks.OnRelease(e, j)
+		}
+	}
+	e.Schedule(now.Add(ts.task.Period), func(at vtime.Time) { e.release(ts, at) })
+}
+
+// finishIfDone terminates the running job once it has consumed its
+// effective demand.
+func (e *Engine) finishIfDone(now vtime.Time) {
+	j := e.running
+	if j == nil || j.done || j.Executed < j.demand() {
+		return
+	}
+	j.done = true
+	j.FinishedAt = now
+	if j.limited && j.Actual+j.overhead > j.workLimit {
+		j.stopped = true
+		e.Record(trace.Event{At: now, Kind: trace.JobStopped, Task: j.TaskName(), Job: j.Q})
+		if e.cfg.Hooks.OnStopped != nil {
+			e.cfg.Hooks.OnStopped(e, j)
+		}
+	} else {
+		e.Record(trace.Event{At: now, Kind: trace.JobEnd, Task: j.TaskName(), Job: j.Q})
+		if e.cfg.Hooks.OnFinish != nil {
+			e.cfg.Hooks.OnFinish(e, j)
+		}
+	}
+	e.running = nil
+}
+
+// reschedule dispatches the best ready job and predicts completion.
+func (e *Engine) reschedule(now vtime.Time) {
+	best := e.bestReady()
+	if best != e.running {
+		if e.running != nil && !e.running.done {
+			e.Record(trace.Event{At: now, Kind: trace.JobPreempt, Task: e.running.TaskName(), Job: e.running.Q})
+		}
+		if best != nil {
+			if !best.begun {
+				best.begun = true
+				e.Record(trace.Event{At: now, Kind: trace.JobBegin, Task: best.TaskName(), Job: best.Q})
+			} else {
+				e.Record(trace.Event{At: now, Kind: trace.JobResume, Task: best.TaskName(), Job: best.Q})
+			}
+			if e.cfg.ContextSwitch > 0 && e.running != best {
+				best.overhead += e.cfg.ContextSwitch
+			}
+			e.switches++
+		}
+		e.running = best
+	}
+	if e.running != nil {
+		j := e.running
+		e.epoch++
+		epoch := e.epoch
+		done := now.Add(j.Remaining())
+		e.Schedule(done, func(at vtime.Time) {
+			// Stale if any dispatch happened since; a fresh event
+			// exists in that case.
+			if e.epoch == epoch {
+				e.finishIfDone(at)
+			}
+		})
+	}
+}
+
+// bestReady scans the heads of all task queues under the policy.
+func (e *Engine) bestReady() *Job {
+	var best *Job
+	for _, ts := range e.tasks {
+		h := ts.head()
+		if h == nil {
+			continue
+		}
+		if best == nil || e.policy.Better(h, best) {
+			best = h
+		}
+	}
+	return best
+}
+
+// JobAt returns task's job q and whether it exists.
+func (e *Engine) JobAt(task string, q int64) (*Job, bool) {
+	ts, ok := e.byName[task]
+	if !ok || q < 0 || q >= int64(len(ts.jobs)) {
+		return nil, false
+	}
+	return ts.jobs[q], true
+}
+
+// Jobs returns every job of the task released so far, in order.
+func (e *Engine) Jobs(task string) []*Job {
+	ts, ok := e.byName[task]
+	if !ok {
+		return nil
+	}
+	return ts.jobs
+}
+
+// TaskNames returns the names of all tasks ever added, in add order.
+func (e *Engine) TaskNames() []string {
+	out := make([]string, len(e.tasks))
+	for i, ts := range e.tasks {
+		out[i] = ts.task.Name
+	}
+	return out
+}
+
+// ReadyJobs snapshots the current heads of all task queues (the jobs
+// competing for the CPU), for value-based policies.
+func (e *Engine) ReadyJobs() []*Job {
+	var out []*Job
+	for _, ts := range e.tasks {
+		if h := ts.head(); h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// StopJob requests the stop of job q of the task, honouring the §4.1
+// poll semantics: the job terminates at its next StopPoll boundary of
+// executed work (plus optional jitter), never retroactively. A no-op
+// if the job is already done or not yet released.
+func (e *Engine) StopJob(task string, q int64, now vtime.Time) {
+	j, ok := e.JobAt(task, q)
+	if !ok || j.done {
+		return
+	}
+	e.Record(trace.Event{At: now, Kind: trace.StopRequest, Task: task, Job: q})
+	limit := j.Executed.Ceil(e.cfg.StopPoll)
+	if e.cfg.StopJitterMax > 0 {
+		limit += e.rng.DurationIn(0, e.cfg.StopJitterMax)
+	}
+	if !j.limited || limit < j.workLimit {
+		j.limited = true
+		j.workLimit = limit
+	}
+	// If the stopped job is currently running its completion
+	// prediction shrank; if it is preempted, nothing changes until it
+	// is dispatched again. Either way the caller's event loop
+	// iteration ends with reschedule(), which re-predicts.
+}
+
+// AddTask performs dynamic admission (paper §7): the task joins the
+// system now (its offset is relative to the current instant). The
+// caller is responsible for re-running admission control.
+func (e *Engine) AddTask(t taskset.Task, m fault.Model, now vtime.Time) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, exists := e.byName[t.Name]; exists {
+		return fmt.Errorf("engine: task %q already present", t.Name)
+	}
+	if m == nil {
+		m = e.cfg.Faults.For(t.Name)
+	}
+	t.Offset += vtime.Duration(now)
+	e.addTaskState(t, m)
+	e.Record(trace.Event{At: now, Kind: trace.TaskAdded, Task: t.Name, Job: -1})
+	if e.cfg.Hooks.OnTaskAdded != nil {
+		e.cfg.Hooks.OnTaskAdded(e, t.Name)
+	}
+	return nil
+}
+
+// RemoveTask cancels all future releases of the task; its current
+// jobs run to completion. A no-op for unknown tasks.
+func (e *Engine) RemoveTask(name string, now vtime.Time) {
+	ts, ok := e.byName[name]
+	if !ok || ts.removed {
+		return
+	}
+	ts.removed = true
+	e.Record(trace.Event{At: now, Kind: trace.TaskRemoved, Task: name, Job: -1})
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/allowance"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// BaselinePoint is one sample of the X4 comparison: the paper's
+// admission-control-plus-detectors approach versus the overload
+// schedulers of its related work (§1), on the same task system under
+// the same recurring fault.
+type BaselinePoint struct {
+	Policy string
+	// SuccessRatio over all jobs of the run.
+	SuccessRatio float64
+	// Tau1Success, Tau3Success isolate the faulty task and the most
+	// exposed victim.
+	Tau1Success float64
+	Tau3Success float64
+}
+
+// BaselineComparison (extension X4) runs the Table 2 system (τ3
+// offset 1000 ms) with τ1 overrunning by extra on every other job,
+// under: the paper's FPP + detectors + Stop; plain fixed priorities
+// with no detection; EDF; Locke best-effort; RED; and D-over. The
+// paper's positioning — prevention through admission control plus
+// cheap detectors, rather than generic overload handling — shows up
+// as the FPP+Stop row protecting τ2/τ3 completely.
+func BaselineComparison(extra vtime.Duration, horizon vtime.Duration) ([]BaselinePoint, error) {
+	faults := fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 2, Extra: extra}}
+	var out []BaselinePoint
+
+	// The paper's approach.
+	sys, err := core.NewSystem(core.Config{
+		Tasks:           FigureSet(),
+		Treatment:       detect.Stop,
+		Faults:          faults,
+		Horizon:         horizon,
+		TimerResolution: detect.DefaultTimerResolution,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, point("fp+detectors(stop)", res.Report))
+
+	// The alternatives, same engine, no detectors.
+	policies := []engine.Policy{
+		engine.FixedPriority{},
+		baselines.EDF{},
+		baselines.BestEffort{},
+		baselines.RED{},
+		baselines.DOver{},
+	}
+	for _, p := range policies {
+		e, err := engine.New(engine.Config{
+			Tasks:  FigureSet(),
+			Faults: faults,
+			Policy: p,
+			End:    vtime.Time(horizon),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep := metrics.Analyze(e.Run())
+		out = append(out, point(p.Name(), rep))
+	}
+	return out, nil
+}
+
+func point(name string, rep *metrics.Report) BaselinePoint {
+	bp := BaselinePoint{Policy: name, SuccessRatio: rep.SuccessRatio()}
+	if s, ok := rep.Tasks["tau1"]; ok {
+		bp.Tau1Success = s.SuccessRatio()
+	}
+	if s, ok := rep.Tasks["tau3"]; ok {
+		bp.Tau3Success = s.SuccessRatio()
+	}
+	return bp
+}
+
+// RenderBaselines prints the X4 table.
+func RenderBaselines(points []BaselinePoint) string {
+	var b strings.Builder
+	b.WriteString("X4 — paper's approach vs overload schedulers (tau1 overruns every 2nd job)\n")
+	fmt.Fprintf(&b, "%-20s %9s %9s %9s\n", "policy", "success", "tau1", "tau3")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-20s %9.4f %9.4f %9.4f\n", p.Policy, p.SuccessRatio, p.Tau1Success, p.Tau3Success)
+	}
+	return b.String()
+}
+
+// BlockingSweep (extension X9, paper §7: "the influence of tolerance
+// on the determination of the blocking time bi") sweeps a uniform
+// blocking term over the Table 2 system and reports the surviving
+// equitable allowance, plus the converse: the blocking tolerance left
+// at each partial allowance grant.
+func BlockingSweep() (string, error) {
+	s := Table2Set()
+	tab, err := allowance.SweepBlocking(s, vtime.Millis(40), vtime.Millis(5), 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("X9 — blocking vs allowance (Table 2 system)\n")
+	fmt.Fprintf(&b, "%12s %12s\n", "blocking", "allowance")
+	for i := range tab.Blocking {
+		a := "infeasible"
+		if tab.Allowance[i] >= 0 {
+			a = tab.Allowance[i].String()
+		}
+		fmt.Fprintf(&b, "%12v %12s\n", tab.Blocking[i], a)
+	}
+	b.WriteString("\n    granted A     blocking tolerance left\n")
+	for _, grant := range []vtime.Duration{0, vtime.Millis(5), vtime.Millis(11)} {
+		bt, err := allowance.MaxBlockingTolerance(s, grant, 0)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%12v %12v\n", grant, bt)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,165 @@
+// Package fault defines the temporal-fault models of the paper's
+// Section 3: a fault is a job taking more CPU time than its declared
+// cost Ci, "either because it was underestimated, or because of an
+// external event with the system". Models map a job index to the
+// job's actual execution demand; the engine draws from them at each
+// release. The paper's evaluation injects a single voluntary cost
+// overrun into the highest-priority task; richer models support the
+// extension sweeps.
+package fault
+
+import (
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+)
+
+// Model yields the actual execution demand of job q (0-based) of a
+// task whose declared cost is nominal. Implementations must be
+// deterministic functions of (q, nominal) and any seed captured at
+// construction, so that runs are reproducible.
+type Model interface {
+	// ActualCost returns the job's true demand. Values below nominal
+	// model cost under-runs (paper §7); values above model faults.
+	ActualCost(q int64, nominal vtime.Duration) vtime.Duration
+}
+
+// None is the fault-free model: every job takes exactly its cost.
+type None struct{}
+
+// ActualCost returns nominal unchanged.
+func (None) ActualCost(_ int64, nominal vtime.Duration) vtime.Duration { return nominal }
+
+// OverrunAt injects a single cost overrun into one job, the paper's
+// §6 scenario ("a cost overrun was voluntarily added for the priority
+// task").
+type OverrunAt struct {
+	// Job is the 0-based index of the faulty job.
+	Job int64
+	// Extra is added to the nominal cost of that job.
+	Extra vtime.Duration
+}
+
+// ActualCost returns nominal, plus Extra on the selected job.
+func (o OverrunAt) ActualCost(q int64, nominal vtime.Duration) vtime.Duration {
+	if q == o.Job {
+		return nominal + o.Extra
+	}
+	return nominal
+}
+
+// OverrunEvery injects a recurring overrun: every Kth job starting at
+// job First overruns by Extra. With K = 1 every job is faulty — a
+// systematically underestimated cost.
+type OverrunEvery struct {
+	First int64
+	K     int64
+	Extra vtime.Duration
+}
+
+// ActualCost returns nominal plus Extra on every selected job.
+func (o OverrunEvery) ActualCost(q int64, nominal vtime.Duration) vtime.Duration {
+	k := o.K
+	if k <= 0 {
+		k = 1
+	}
+	if q >= o.First && (q-o.First)%k == 0 {
+		return nominal + o.Extra
+	}
+	return nominal
+}
+
+// UnderrunEvery models overestimated costs (paper §7 future work):
+// every job completes Early sooner than declared, floored at one
+// microsecond of real work.
+type UnderrunEvery struct {
+	Early vtime.Duration
+}
+
+// ActualCost returns nominal minus Early, floored at 1 µs.
+func (u UnderrunEvery) ActualCost(_ int64, nominal vtime.Duration) vtime.Duration {
+	c := nominal - u.Early
+	if c < vtime.Microsecond {
+		c = vtime.Microsecond
+	}
+	return c
+}
+
+// RandomJitter adds a bounded pseudo-random overrun to every job,
+// modelling the paper's §4.1 observation that polling the stop flag
+// through RealtimeThread.currentRealtimeThread() makes tasks
+// "regularly make small cost overruns, about a few milliseconds".
+type RandomJitter struct {
+	rng *taskset.Rand
+	max vtime.Duration
+}
+
+// NewRandomJitter returns a jitter model with the given seed and
+// maximum per-job overrun.
+func NewRandomJitter(seed uint64, max vtime.Duration) *RandomJitter {
+	return &RandomJitter{rng: taskset.NewRand(seed), max: max}
+}
+
+// ActualCost returns nominal plus a uniform draw in [0, max].
+func (r *RandomJitter) ActualCost(_ int64, nominal vtime.Duration) vtime.Duration {
+	if r.max <= 0 {
+		return nominal
+	}
+	return nominal + r.rng.DurationIn(0, r.max)
+}
+
+// Chain composes models: each model's delta relative to nominal is
+// accumulated. An OverrunAt chained with RandomJitter reproduces a
+// faulty task on a noisy platform.
+type Chain []Model
+
+// ActualCost applies every model's delta to the nominal cost.
+func (c Chain) ActualCost(q int64, nominal vtime.Duration) vtime.Duration {
+	actual := nominal
+	for _, m := range c {
+		actual += m.ActualCost(q, nominal) - nominal
+	}
+	if actual < vtime.Microsecond {
+		actual = vtime.Microsecond
+	}
+	return actual
+}
+
+// Plan maps task names to fault models; tasks not present are
+// fault-free. The zero value is usable.
+type Plan map[string]Model
+
+// For returns the model for a task, defaulting to None.
+func (p Plan) For(task string) Model {
+	if p == nil {
+		return None{}
+	}
+	if m, ok := p[task]; ok && m != nil {
+		return m
+	}
+	return None{}
+}
+
+// Interference models an external event window (paper §3: a fault may
+// arise "because of an external event with the system"): every job
+// released within [From, To) incurs Extra additional demand —
+// interrupt storms, cache pollution from a co-located load, and the
+// like. The model needs the task's release pattern to map job
+// indices to instants.
+type Interference struct {
+	// Offset and Period describe the victim task's releases.
+	Offset, Period vtime.Duration
+	// From (inclusive) and To (exclusive) bound the window.
+	From, To vtime.Time
+	// Extra is added to every job released inside the window.
+	Extra vtime.Duration
+}
+
+// ActualCost returns nominal plus Extra for jobs released in the
+// window.
+func (iv Interference) ActualCost(q int64, nominal vtime.Duration) vtime.Duration {
+	release := vtime.Time(iv.Offset) + vtime.Time(vtime.Duration(q)*iv.Period)
+	if !release.Before(iv.From) && release.Before(iv.To) {
+		return nominal + iv.Extra
+	}
+	return nominal
+}

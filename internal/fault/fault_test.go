@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func ms(v int64) vtime.Duration { return vtime.Millis(v) }
+
+func TestNone(t *testing.T) {
+	m := None{}
+	for q := int64(0); q < 10; q++ {
+		if m.ActualCost(q, ms(29)) != ms(29) {
+			t.Fatal("None must not change the cost")
+		}
+	}
+}
+
+func TestOverrunAt(t *testing.T) {
+	m := OverrunAt{Job: 5, Extra: ms(40)}
+	if m.ActualCost(5, ms(29)) != ms(69) {
+		t.Error("job 5 must overrun by 40")
+	}
+	for _, q := range []int64{0, 4, 6, 100} {
+		if m.ActualCost(q, ms(29)) != ms(29) {
+			t.Errorf("job %d must be clean", q)
+		}
+	}
+}
+
+func TestOverrunEvery(t *testing.T) {
+	m := OverrunEvery{First: 1, K: 2, Extra: ms(10)}
+	faulty := map[int64]bool{1: true, 3: true, 5: true}
+	for q := int64(0); q < 6; q++ {
+		want := ms(20)
+		if faulty[q] {
+			want = ms(30)
+		}
+		if got := m.ActualCost(q, ms(20)); got != want {
+			t.Errorf("job %d: %v, want %v", q, got, want)
+		}
+	}
+	// K <= 0 behaves as every job from First.
+	m0 := OverrunEvery{First: 2, K: 0, Extra: ms(1)}
+	if m0.ActualCost(1, ms(5)) != ms(5) || m0.ActualCost(2, ms(5)) != ms(6) || m0.ActualCost(3, ms(5)) != ms(6) {
+		t.Error("K=0 must behave as K=1")
+	}
+}
+
+func TestUnderrunEvery(t *testing.T) {
+	m := UnderrunEvery{Early: ms(5)}
+	if m.ActualCost(0, ms(29)) != ms(24) {
+		t.Error("under-run must subtract")
+	}
+	// Floor at 1 µs.
+	if m.ActualCost(0, ms(3)) != vtime.Microsecond {
+		t.Errorf("under-run floor: %v", m.ActualCost(0, ms(3)))
+	}
+}
+
+func TestRandomJitterBoundedAndDeterministic(t *testing.T) {
+	a := NewRandomJitter(1, ms(3))
+	b := NewRandomJitter(1, ms(3))
+	for q := int64(0); q < 200; q++ {
+		ca, cb := a.ActualCost(q, ms(29)), b.ActualCost(q, ms(29))
+		if ca != cb {
+			t.Fatal("same seed must give identical jitter")
+		}
+		if ca < ms(29) || ca > ms(32) {
+			t.Fatalf("jitter out of bounds: %v", ca)
+		}
+	}
+	z := NewRandomJitter(1, 0)
+	if z.ActualCost(0, ms(29)) != ms(29) {
+		t.Error("zero max must disable jitter")
+	}
+}
+
+func TestChainComposesDeltas(t *testing.T) {
+	c := Chain{OverrunAt{Job: 2, Extra: ms(10)}, UnderrunEvery{Early: ms(4)}}
+	if got := c.ActualCost(0, ms(20)); got != ms(16) {
+		t.Errorf("clean chained job: %v, want 16ms", got)
+	}
+	if got := c.ActualCost(2, ms(20)); got != ms(26) {
+		t.Errorf("faulty chained job: %v, want 26ms (20+10-4)", got)
+	}
+	// Floor guard.
+	deep := Chain{UnderrunEvery{Early: ms(100)}}
+	if got := deep.ActualCost(0, ms(1)); got != vtime.Microsecond {
+		t.Errorf("chain floor: %v", got)
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	var nilPlan Plan
+	if _, ok := nilPlan.For("x").(None); !ok {
+		t.Error("nil plan must yield None")
+	}
+	p := Plan{"a": OverrunAt{Job: 1, Extra: ms(5)}, "b": nil}
+	if _, ok := p.For("a").(OverrunAt); !ok {
+		t.Error("plan lookup failed")
+	}
+	if _, ok := p.For("b").(None); !ok {
+		t.Error("nil model entry must default to None")
+	}
+	if _, ok := p.For("missing").(None); !ok {
+		t.Error("missing task must default to None")
+	}
+}
+
+// Property: every model returns a positive cost for positive nominals.
+func TestQuickPositiveCosts(t *testing.T) {
+	models := []Model{
+		None{},
+		OverrunAt{Job: 3, Extra: ms(7)},
+		OverrunEvery{First: 0, K: 3, Extra: ms(2)},
+		UnderrunEvery{Early: ms(50)},
+		NewRandomJitter(9, ms(2)),
+		Chain{OverrunAt{Job: 1, Extra: ms(1)}, NewRandomJitter(3, ms(1))},
+	}
+	f := func(q uint16, nomMS uint8) bool {
+		nominal := ms(int64(nomMS%100) + 1)
+		for _, m := range models {
+			if m.ActualCost(int64(q), nominal) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterferenceWindow(t *testing.T) {
+	// Task with period 100: jobs release at 0, 100, 200, ...
+	iv := Interference{
+		Period: ms(100),
+		From:   vtime.AtMillis(150),
+		To:     vtime.AtMillis(350),
+		Extra:  ms(7),
+	}
+	want := map[int64]vtime.Duration{
+		0: ms(20), // release 0: outside
+		1: ms(20), // release 100: outside
+		2: ms(27), // release 200: inside
+		3: ms(27), // release 300: inside
+		4: ms(20), // release 400: outside (To exclusive)
+	}
+	for q, w := range want {
+		if got := iv.ActualCost(q, ms(20)); got != w {
+			t.Errorf("job %d: %v, want %v", q, got, w)
+		}
+	}
+	// Boundary: release exactly at From is inside; at To is outside.
+	edge := Interference{Period: ms(100), From: vtime.AtMillis(100), To: vtime.AtMillis(200), Extra: ms(1)}
+	if edge.ActualCost(1, ms(5)) != ms(6) {
+		t.Error("release at From must be inside")
+	}
+	if edge.ActualCost(2, ms(5)) != ms(5) {
+		t.Error("release at To must be outside")
+	}
+	// Offset shifts releases.
+	off := Interference{Offset: ms(50), Period: ms(100), From: vtime.AtMillis(150), To: vtime.AtMillis(151), Extra: ms(1)}
+	if off.ActualCost(1, ms(5)) != ms(6) {
+		t.Error("offset release 50+100=150 must be inside")
+	}
+}

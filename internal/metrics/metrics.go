@@ -1,0 +1,257 @@
+// Package metrics summarizes traces into the quantities the paper's
+// evaluation discusses: which jobs finished, which missed their
+// deadlines, which were stopped, and the observed response times. It
+// works from the trace log alone, so the cmd tools can analyze logs
+// produced by earlier runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// JobRecord reconstructs one job's life from the trace.
+type JobRecord struct {
+	Task    string
+	Q       int64
+	Release vtime.Time
+	// Begin is the first dispatch (zero Time if never dispatched).
+	Begin vtime.Time
+	// End is the completion or stop instant (zero if still pending
+	// at the end of the trace).
+	End vtime.Time
+	// Detected is true when a detector flagged the job.
+	Detected bool
+	// Stopped is true when the job terminated on its stop flag.
+	Stopped bool
+	// MissedDeadline is true when the deadline passed unfinished.
+	MissedDeadline bool
+	// Granted is the system-allowance grant, if any.
+	Granted vtime.Duration
+
+	begun, ended bool
+}
+
+// Failed reports job failure in the paper's sense: a deadline missed
+// or a forced stop before completion.
+func (j JobRecord) Failed() bool { return j.MissedDeadline || j.Stopped }
+
+// Response returns End − Release for terminated jobs, else 0.
+func (j JobRecord) Response() vtime.Duration {
+	if !j.ended {
+		return 0
+	}
+	return j.End.Sub(j.Release)
+}
+
+// TaskSummary aggregates one task's jobs.
+type TaskSummary struct {
+	Task     string
+	Released int
+	Finished int
+	Stopped  int
+	Missed   int // deadline misses (a stopped job may also miss)
+	Failed   int // Missed ∪ Stopped
+	Detected int
+	// MaxResponse and MeanResponse cover terminated jobs.
+	MaxResponse  vtime.Duration
+	MeanResponse vtime.Duration
+
+	respSum vtime.Duration
+	respN   int64
+}
+
+// SuccessRatio is the fraction of released jobs that neither missed
+// their deadline nor were stopped.
+func (s TaskSummary) SuccessRatio() float64 {
+	if s.Released == 0 {
+		return 1
+	}
+	return float64(s.Released-s.Failed) / float64(s.Released)
+}
+
+// Report is the full analysis of a trace.
+type Report struct {
+	Jobs  []JobRecord
+	Tasks map[string]*TaskSummary
+}
+
+// Analyze reconstructs jobs and summaries from a trace log.
+func Analyze(l *trace.Log) *Report {
+	type key struct {
+		task string
+		q    int64
+	}
+	jobs := map[key]*JobRecord{}
+	var order []key
+	get := func(k key) *JobRecord {
+		j, ok := jobs[k]
+		if !ok {
+			j = &JobRecord{Task: k.task, Q: k.q}
+			jobs[k] = j
+			order = append(order, k)
+		}
+		return j
+	}
+	for _, e := range l.Events() {
+		if e.Task == "" || e.Job < 0 {
+			continue
+		}
+		k := key{e.Task, e.Job}
+		switch e.Kind {
+		case trace.JobRelease:
+			j := get(k)
+			j.Release = e.At
+		case trace.JobBegin:
+			j := get(k)
+			j.Begin = e.At
+			j.begun = true
+		case trace.JobEnd:
+			j := get(k)
+			j.End = e.At
+			j.ended = true
+		case trace.JobStopped:
+			j := get(k)
+			j.End = e.At
+			j.ended = true
+			j.Stopped = true
+		case trace.DeadlineMiss:
+			get(k).MissedDeadline = true
+		case trace.FaultDetected:
+			get(k).Detected = true
+		case trace.AllowanceGrant:
+			get(k).Granted = vtime.Duration(e.Arg)
+		}
+	}
+	rep := &Report{Tasks: map[string]*TaskSummary{}}
+	for _, k := range order {
+		j := jobs[k]
+		rep.Jobs = append(rep.Jobs, *j)
+		s, ok := rep.Tasks[k.task]
+		if !ok {
+			s = &TaskSummary{Task: k.task}
+			rep.Tasks[k.task] = s
+		}
+		s.Released++
+		if j.ended && !j.Stopped {
+			s.Finished++
+		}
+		if j.Stopped {
+			s.Stopped++
+		}
+		if j.MissedDeadline {
+			s.Missed++
+		}
+		if j.Failed() {
+			s.Failed++
+		}
+		if j.Detected {
+			s.Detected++
+		}
+		if j.ended {
+			r := j.Response()
+			if r > s.MaxResponse {
+				s.MaxResponse = r
+			}
+			s.respSum += r
+			s.respN++
+		}
+	}
+	for _, s := range rep.Tasks {
+		if s.respN > 0 {
+			s.MeanResponse = s.respSum / vtime.Duration(s.respN)
+		}
+	}
+	return rep
+}
+
+// Job returns the record of one job, if present.
+func (r *Report) Job(task string, q int64) (JobRecord, bool) {
+	for _, j := range r.Jobs {
+		if j.Task == task && j.Q == q {
+			return j, true
+		}
+	}
+	return JobRecord{}, false
+}
+
+// TaskNames returns the summarized tasks, sorted.
+func (r *Report) TaskNames() []string {
+	out := make([]string, 0, len(r.Tasks))
+	for t := range r.Tasks {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalFailed sums failures across tasks.
+func (r *Report) TotalFailed() int {
+	n := 0
+	for _, s := range r.Tasks {
+		n += s.Failed
+	}
+	return n
+}
+
+// TotalReleased sums releases across tasks.
+func (r *Report) TotalReleased() int {
+	n := 0
+	for _, s := range r.Tasks {
+		n += s.Released
+	}
+	return n
+}
+
+// SuccessRatio is the system-wide fraction of non-failed jobs.
+func (r *Report) SuccessRatio() float64 {
+	rel := r.TotalReleased()
+	if rel == 0 {
+		return 1
+	}
+	return float64(rel-r.TotalFailed()) / float64(rel)
+}
+
+// Render prints the per-task table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %8s %7s %7s %9s %12s %12s\n",
+		"task", "released", "finished", "stopped", "missed", "failed", "detected", "maxResp", "meanResp")
+	for _, name := range r.TaskNames() {
+		s := r.Tasks[name]
+		fmt.Fprintf(&b, "%-8s %9d %9d %8d %7d %7d %9d %12v %12v\n",
+			s.Task, s.Released, s.Finished, s.Stopped, s.Missed, s.Failed, s.Detected, s.MaxResponse, s.MeanResponse)
+	}
+	fmt.Fprintf(&b, "success ratio: %.4f\n", r.SuccessRatio())
+	return b.String()
+}
+
+// ResponsePercentile returns the p-th percentile (0 < p <= 100) of
+// the task's terminated-job response times, using nearest-rank. The
+// second result is false when the task has no terminated jobs or p is
+// out of range.
+func (r *Report) ResponsePercentile(task string, p float64) (vtime.Duration, bool) {
+	if p <= 0 || p > 100 {
+		return 0, false
+	}
+	var resp []vtime.Duration
+	for _, j := range r.Jobs {
+		if j.Task == task && j.ended {
+			resp = append(resp, j.Response())
+		}
+	}
+	if len(resp) == 0 {
+		return 0, false
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(resp))))
+	if rank < 1 {
+		rank = 1
+	}
+	return resp[rank-1], true
+}

@@ -1,0 +1,412 @@
+package rtsj
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func ms(v int64) vtime.Duration { return vtime.Millis(v) }
+func at(v int64) vtime.Time     { return vtime.AtMillis(v) }
+
+// periodicLogic is the idiomatic RTSJ run() body: wait, compute the
+// job's cost, repeat.
+func periodicLogic(cost func(q int64) vtime.Duration) Logic {
+	return func(t *RealtimeThread) {
+		for t.WaitForNextPeriod() {
+			t.Compute(cost(t.JobIndex()))
+		}
+	}
+}
+
+func fixed(d vtime.Duration) func(int64) vtime.Duration {
+	return func(int64) vtime.Duration { return d }
+}
+
+func TestSingleThreadPeriodicExecution(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(100)})
+	th := vm.NewRealtimeThread("a", PriorityParameters{5},
+		PeriodicParameters{Period: ms(10), Cost: ms(3), Deadline: ms(10)},
+		periodicLogic(fixed(ms(3))))
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(vm.Log())
+	s := rep.Tasks["a"]
+	if s == nil || s.Finished < 9 {
+		t.Fatalf("thread a finished %v jobs, want >= 9", s)
+	}
+	if s.Failed != 0 {
+		t.Fatalf("fault-free thread failed %d jobs", s.Failed)
+	}
+	if s.MaxResponse != ms(3) {
+		t.Errorf("max response %v, want 3ms", s.MaxResponse)
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(10)})
+	th := vm.NewRealtimeThread("a", PriorityParameters{1},
+		PeriodicParameters{Period: ms(10), Cost: ms(1), Deadline: ms(10)},
+		periodicLogic(fixed(ms(1))))
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Start(); err == nil {
+		t.Fatal("second Start must fail")
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreemptionAcrossThreads(t *testing.T) {
+	// Table 2 critical instant: three threads released together
+	// complete at 29, 58, 87 ms.
+	vm := NewVM(VMConfig{Horizon: ms(200)})
+	mk := func(name string, prio int, period int64) *RealtimeThread {
+		return vm.NewRealtimeThread(name, PriorityParameters{prio},
+			PeriodicParameters{Period: ms(period), Cost: ms(29), Deadline: ms(120)},
+			periodicLogic(fixed(ms(29))))
+	}
+	t1, t2, t3 := mk("tau1", 20, 200), mk("tau2", 18, 250), mk("tau3", 16, 1500)
+	for _, th := range []*RealtimeThread{t1, t2, t3} {
+		if err := th.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(vm.Log())
+	want := map[string]vtime.Time{"tau1": at(29), "tau2": at(58), "tau3": at(87)}
+	for name, end := range want {
+		j, ok := rep.Job(name, 0)
+		if !ok {
+			t.Fatalf("%s#0 missing from trace", name)
+		}
+		if j.End != end {
+			t.Errorf("%s#0 end %v, want %v", name, j.End, end)
+		}
+	}
+}
+
+func TestVMTaskSetAndScheduler(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(100)})
+	sched := NewScheduler()
+	th := vm.NewRealtimeThread("a", PriorityParameters{9},
+		PeriodicParameters{Period: ms(10), Cost: ms(4), Deadline: ms(10)},
+		periodicLogic(fixed(ms(4))))
+	sched.AddToFeasibility(th)
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	feasible, err := sched.IsFeasible()
+	if err != nil || !feasible {
+		t.Fatalf("IsFeasible = %v, %v; want feasible", feasible, err)
+	}
+	wcrts, err := sched.ResponseTimes()
+	if err != nil || wcrts[0] != ms(4) {
+		t.Fatalf("ResponseTimes = %v, %v", wcrts, err)
+	}
+	set, err := vm.TaskSet()
+	if err != nil || set.Len() != 1 {
+		t.Fatalf("TaskSet: %v, %v", set, err)
+	}
+	// Remove and verify the feasibility set empties.
+	sched.RemoveFromFeasibility(th)
+	if _, err := sched.IsFeasible(); err == nil {
+		t.Fatal("empty feasibility set must error")
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDetectsInfeasible(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(100)})
+	sched := NewScheduler()
+	a := vm.NewRealtimeThread("a", PriorityParameters{9},
+		PeriodicParameters{Period: ms(10), Cost: ms(6), Deadline: ms(10)}, periodicLogic(fixed(ms(6))))
+	b := vm.NewRealtimeThread("b", PriorityParameters{1},
+		PeriodicParameters{Period: ms(10), Cost: ms(6), Deadline: ms(10)}, periodicLogic(fixed(ms(6))))
+	sched.AddToFeasibility(a)
+	sched.AddToFeasibility(b)
+	feasible, err := sched.IsFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible {
+		t.Fatal("U = 1.2 must be infeasible")
+	}
+}
+
+// TestExtendedReproducesFigure5: the full paper pipeline through the
+// RTSJ API — extended threads, detectors from the overloaded start(),
+// stop treatment — reproduces the Figure 5 outcomes.
+func TestExtendedReproducesFigure5(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(1500), TimerResolution: ms(10)})
+	sched := NewScheduler()
+	logic := func(extra func(q int64) vtime.Duration) func(*RealtimeThreadExtended) {
+		return func(t *RealtimeThreadExtended) {
+			for t.WaitForNextPeriod() {
+				t.Compute(ms(29) + extra(t.JobIndex()))
+			}
+		}
+	}
+	none := func(int64) vtime.Duration { return 0 }
+	faulty := func(q int64) vtime.Duration {
+		if q == 5 {
+			return ms(40)
+		}
+		return 0
+	}
+	t1 := vm.NewRealtimeThreadExtended("tau1", PriorityParameters{20},
+		PeriodicParameters{Period: ms(200), Cost: ms(29), Deadline: ms(70)}, sched, ExtStop, logic(faulty))
+	t2 := vm.NewRealtimeThreadExtended("tau2", PriorityParameters{18},
+		PeriodicParameters{Period: ms(250), Cost: ms(29), Deadline: ms(120)}, sched, ExtStop, logic(none))
+	t3 := vm.NewRealtimeThreadExtended("tau3", PriorityParameters{16},
+		PeriodicParameters{Start: ms(1000), Period: ms(1500), Cost: ms(29), Deadline: ms(120)}, sched, ExtStop, logic(none))
+	for _, th := range []*RealtimeThreadExtended{t1, t2, t3} {
+		if err := th.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The overloaded start() computed the paper's WCRTs.
+	if t1.WCRT() != ms(29) || t2.WCRT() != ms(58) || t3.WCRT() != ms(87) {
+		t.Fatalf("WCRTs = %v/%v/%v, want 29/58/87", t1.WCRT(), t2.WCRT(), t3.WCRT())
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(vm.Log())
+	j1, _ := rep.Job("tau1", 5)
+	if !j1.Stopped || j1.End != at(1030) {
+		t.Errorf("tau1#5 stopped=%v end=%v, want stopped at 1030ms", j1.Stopped, j1.End)
+	}
+	j2, _ := rep.Job("tau2", 4)
+	if j2.Failed() || j2.End != at(1059) {
+		t.Errorf("tau2#4 end=%v failed=%v, want 1059ms met", j2.End, j2.Failed())
+	}
+	j3, _ := rep.Job("tau3", 0)
+	if j3.Failed() || j3.End != at(1088) {
+		t.Errorf("tau3#0 end=%v failed=%v, want 1088ms met", j3.End, j3.Failed())
+	}
+	if t1.Detections() == 0 {
+		t.Error("tau1's detector must have fired")
+	}
+	if t2.Detections()+t3.Detections() != 0 {
+		t.Errorf("tau2/tau3 detectors fired %d/%d times, want 0 under stop", t2.Detections(), t3.Detections())
+	}
+}
+
+// TestExtendedSystemAllowanceFigure7: the RTSJ pipeline under the
+// system allowance stops τ1 at WCRT+33 and lets τ2/τ3 finish at
+// 1091/1120 exactly as Figure 7.
+func TestExtendedSystemAllowanceFigure7(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(1500), TimerResolution: ms(10)})
+	sched := NewScheduler()
+	faulty := func(tt *RealtimeThreadExtended) {
+		for tt.WaitForNextPeriod() {
+			extra := vtime.Duration(0)
+			if tt.JobIndex() == 5 {
+				extra = ms(40)
+			}
+			tt.Compute(ms(29) + extra)
+		}
+	}
+	clean := func(tt *RealtimeThreadExtended) {
+		for tt.WaitForNextPeriod() {
+			tt.Compute(ms(29))
+		}
+	}
+	t1 := vm.NewRealtimeThreadExtended("tau1", PriorityParameters{20},
+		PeriodicParameters{Period: ms(200), Cost: ms(29), Deadline: ms(70)}, sched, ExtSystemAllowance, faulty)
+	t2 := vm.NewRealtimeThreadExtended("tau2", PriorityParameters{18},
+		PeriodicParameters{Period: ms(250), Cost: ms(29), Deadline: ms(120)}, sched, ExtSystemAllowance, clean)
+	t3 := vm.NewRealtimeThreadExtended("tau3", PriorityParameters{16},
+		PeriodicParameters{Start: ms(1000), Period: ms(1500), Cost: ms(29), Deadline: ms(120)}, sched, ExtSystemAllowance, clean)
+	for _, th := range []*RealtimeThreadExtended{t1, t2, t3} {
+		if err := th.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(vm.Log())
+	j1, _ := rep.Job("tau1", 5)
+	// Paper Figure 7: τ1 stopped exactly 33 ms after its WCRT.
+	if !j1.Stopped || j1.End != at(1062) {
+		t.Errorf("tau1#5 stopped=%v end=%v, want stopped at 1062ms (WCRT+33)", j1.Stopped, j1.End)
+	}
+	j2, _ := rep.Job("tau2", 4)
+	j3, _ := rep.Job("tau3", 0)
+	if j2.Failed() || j2.End != at(1091) {
+		t.Errorf("tau2#4 end=%v failed=%v, want completed 1091ms", j2.End, j2.Failed())
+	}
+	if j3.Failed() || j3.End != at(1120) {
+		t.Errorf("tau3#0 end=%v failed=%v, want completed exactly at its 1120ms deadline", j3.End, j3.Failed())
+	}
+	if t1.Detections() == 0 {
+		t.Error("tau1's detector must have fired")
+	}
+}
+
+// TestStopFlagPollGranularity: a stop raised mid-compute truncates at
+// the next poll boundary of the compute call.
+func TestStopFlagPollGranularity(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(100), StopPoll: ms(4)})
+	th := vm.NewRealtimeThread("a", PriorityParameters{1},
+		PeriodicParameters{Period: ms(50), Cost: ms(30), Deadline: ms(50)},
+		periodicLogic(fixed(ms(30))))
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	vm.schedule(at(10), func(now vtime.Time) { th.requestStop(vm, 0, now) })
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(vm.Log())
+	j, _ := rep.Job("a", 0)
+	if !j.Stopped || j.End != at(12) {
+		t.Errorf("stopped=%v end=%v, want stopped at 12ms (next 4ms poll)", j.Stopped, j.End)
+	}
+	// The next job is unaffected (flag cleared on job change).
+	j1, ok := rep.Job("a", 1)
+	if !ok || j1.Stopped {
+		t.Errorf("job 1 must run normally: %+v", j1)
+	}
+}
+
+func TestZeroComputeAndNegativeCompute(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(30)})
+	calls := 0
+	th := vm.NewRealtimeThread("a", PriorityParameters{1},
+		PeriodicParameters{Period: ms(10), Cost: ms(1), Deadline: ms(10)},
+		func(t *RealtimeThread) {
+			for t.WaitForNextPeriod() {
+				if !t.Compute(0) {
+					return
+				}
+				if !t.Compute(-5) {
+					return
+				}
+				calls++
+			}
+		})
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls < 2 {
+		t.Fatalf("zero-cost computes executed %d loops, want >= 2", calls)
+	}
+}
+
+func TestPeriodicTimerQuantization(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(100), TimerResolution: ms(10)})
+	var fires []vtime.Time
+	vm.NewPeriodicTimer(ms(29), ms(25), func(now vtime.Time) {
+		fires = append(fires, now)
+	})
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First release quantized 29 → 30, then every 25 ms.
+	want := []vtime.Time{at(30), at(55), at(80)}
+	if len(fires) < len(want) {
+		t.Fatalf("timer fired %d times: %v", len(fires), fires)
+	}
+	for i, w := range want {
+		if fires[i] != w {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], w)
+		}
+	}
+}
+
+func TestTimerWithoutHandlerOrIntervalIgnored(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(50)})
+	vm.NewPeriodicTimer(ms(10), 0, func(vtime.Time) { t.Error("zero-interval timer must not fire") })
+	vm.NewPeriodicTimer(ms(10), ms(10), nil)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	vm := NewVM(VMConfig{Horizon: ms(10)})
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestRunZeroHorizonFails(t *testing.T) {
+	vm := NewVM(VMConfig{})
+	if err := vm.Run(); err == nil {
+		t.Fatal("zero horizon must fail")
+	}
+}
+
+func TestDeadlineMissRecordedThroughVM(t *testing.T) {
+	// Two threads overloading the processor: the low one misses.
+	vm := NewVM(VMConfig{Horizon: ms(40)})
+	hi := vm.NewRealtimeThread("hi", PriorityParameters{2},
+		PeriodicParameters{Period: ms(10), Cost: ms(8), Deadline: ms(10)},
+		periodicLogic(fixed(ms(8))))
+	lo := vm.NewRealtimeThread("lo", PriorityParameters{1},
+		PeriodicParameters{Period: ms(20), Cost: ms(8), Deadline: ms(20)},
+		periodicLogic(fixed(ms(8))))
+	if err := hi.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	misses := vm.Log().Filter(func(e trace.Event) bool {
+		return e.Kind == trace.DeadlineMiss && e.Task == "lo"
+	})
+	if len(misses) == 0 {
+		t.Fatal("overloaded low thread must miss deadlines")
+	}
+}
+
+// TestDeterministicVMTraces: two identical VM runs produce identical
+// traces despite using real goroutines.
+func TestDeterministicVMTraces(t *testing.T) {
+	build := func() *VM {
+		vm := NewVM(VMConfig{Horizon: ms(500), TimerResolution: ms(10)})
+		for i, name := range []string{"a", "b", "c"} {
+			th := vm.NewRealtimeThread(name, PriorityParameters{10 - i},
+				PeriodicParameters{Period: ms(int64(20 + 10*i)), Cost: ms(5), Deadline: ms(int64(20 + 10*i))},
+				periodicLogic(fixed(ms(5))))
+			if err := th.Start(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return vm
+	}
+	v1, v2 := build(), build()
+	if err := v1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Log().EncodeString() != v2.Log().EncodeString() {
+		t.Fatal("VM runs are not deterministic")
+	}
+}

@@ -1,0 +1,273 @@
+package rtsj
+
+import (
+	"fmt"
+
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// PriorityParameters carries the RTSJ scheduling priority (larger is
+// higher, as in javax.realtime.PriorityParameters).
+type PriorityParameters struct {
+	Priority int
+}
+
+// PeriodicParameters mirrors javax.realtime.PeriodicParameters: the
+// release characteristics admission control reasons about.
+type PeriodicParameters struct {
+	// Start is the first release, relative to time zero.
+	Start vtime.Duration
+	// Period separates releases.
+	Period vtime.Duration
+	// Cost is the declared worst-case execution time.
+	Cost vtime.Duration
+	// Deadline is relative to each release.
+	Deadline vtime.Duration
+}
+
+// Logic is the body of a real-time thread, the equivalent of the Java
+// run() method. Idiomatic shape:
+//
+//	func(t *RealtimeThread) {
+//		for t.WaitForNextPeriod() {
+//			t.Compute(work)
+//		}
+//	}
+type Logic func(t *RealtimeThread)
+
+// RealtimeThread models javax.realtime.RealtimeThread backed by a
+// goroutine scheduled in virtual time by the VM.
+type RealtimeThread struct {
+	vm       *VM
+	name     string
+	priority int
+	release  PeriodicParameters
+	logic    Logic
+
+	gate chan resumeMsg
+
+	started bool
+	dead    bool
+	waiting bool
+
+	// scheduling state (owned by the VM loop)
+	computing     bool
+	remaining     vtime.Duration
+	consumed      vtime.Duration
+	computeStart  vtime.Duration
+	stopTruncated bool
+
+	// job bookkeeping (§3.1: the boolean value and job counter)
+	jobIndex        int64
+	inJob           bool
+	begunJob        bool
+	finishedJobs    int64
+	pendingReleases int64
+
+	// stop flag (§4.1): polled at StopPoll granularity.
+	stopFlag bool
+	stopJob  int64
+
+	// extension hooks (RealtimeThreadExtended)
+	onJobBegin func(now vtime.Time, q int64)
+	onJobEnd   func(now vtime.Time, q int64, stopped bool)
+}
+
+// NewRealtimeThread registers a thread with the VM. The thread does
+// not execute until Start is called and the VM runs.
+func (vm *VM) NewRealtimeThread(name string, prio PriorityParameters, rel PeriodicParameters, logic Logic) *RealtimeThread {
+	th := &RealtimeThread{
+		vm:       vm,
+		name:     name,
+		priority: prio.Priority,
+		release:  rel,
+		logic:    logic,
+		gate:     make(chan resumeMsg),
+		jobIndex: -1,
+		stopJob:  -1,
+	}
+	vm.threads = append(vm.threads, th)
+	return th
+}
+
+// Name returns the thread name.
+func (th *RealtimeThread) Name() string { return th.name }
+
+// Priority returns the scheduling priority.
+func (th *RealtimeThread) Priority() int { return th.priority }
+
+// ReleaseParameters returns the periodic parameters.
+func (th *RealtimeThread) ReleaseParameters() PeriodicParameters { return th.release }
+
+// task converts the thread to its analytic model.
+func (th *RealtimeThread) task() taskset.Task {
+	return taskset.Task{
+		Name:     th.name,
+		Priority: th.priority,
+		Period:   th.release.Period,
+		Deadline: th.release.Deadline,
+		Cost:     th.release.Cost,
+		Offset:   th.release.Start,
+	}
+}
+
+// Start marks the thread live; releases begin when the VM runs. It
+// mirrors RealtimeThread.start().
+func (th *RealtimeThread) Start() error {
+	if th.started {
+		return fmt.Errorf("rtsj: thread %s already started", th.name)
+	}
+	if err := th.task().Validate(); err != nil {
+		return err
+	}
+	th.started = true
+	return nil
+}
+
+// armReleases schedules the periodic releases and launches the
+// goroutine (called by VM.Run).
+func (th *RealtimeThread) armReleases(vm *VM) {
+	if !th.started {
+		return
+	}
+	vm.wg.Add(1)
+	go func() {
+		defer vm.wg.Done()
+		if msg := <-th.gate; !msg.ok {
+			// VM shut down before the first release.
+			th.call(request{th: th, kind: reqExit})
+			return
+		}
+		th.logic(th)
+		th.call(request{th: th, kind: reqExit})
+	}()
+	th.scheduleRelease(vm, 0)
+}
+
+// scheduleRelease arms release q; each release re-arms the next, so
+// the chain survives the heap being drained between jobs.
+func (th *RealtimeThread) scheduleRelease(vm *VM, q int64) {
+	at := vtime.Time(th.release.Start).Add(vtime.Duration(q) * th.release.Period)
+	vm.schedule(at, func(now vtime.Time) {
+		if th.dead {
+			return
+		}
+		vm.log.Append(trace.Event{At: now, Kind: trace.JobRelease, Task: th.name, Job: q})
+		// Deadline check for job q.
+		vm.schedule(now.Add(th.release.Deadline), func(at vtime.Time) {
+			if th.finishedJobs <= q {
+				vm.log.Append(trace.Event{At: at, Kind: trace.DeadlineMiss, Task: th.name, Job: q})
+			}
+		})
+		if q == 0 && !th.waiting && th.jobIndex < 0 {
+			// First release: wake the goroutine so its logic runs;
+			// the logic's first WaitForNextPeriod consumes this
+			// release immediately (the paper recommends calling
+			// waitForNextPeriod() before the first job).
+			th.pendingReleases++
+			vm.dispatch(th, resumeMsg{ok: true})
+		} else if th.waiting {
+			th.waiting = false
+			vm.beginJob(th)
+			vm.dispatch(th, resumeMsg{ok: true})
+		} else {
+			th.pendingReleases++
+		}
+		th.scheduleRelease(vm, q+1)
+	})
+}
+
+// call sends a request to the VM and blocks until resumed, returning
+// the resume message.
+func (th *RealtimeThread) call(r request) resumeMsg {
+	th.vm.req <- r
+	if r.kind == reqExit {
+		return resumeMsg{}
+	}
+	return <-th.gate
+}
+
+// Compute consumes d of CPU time under preemptive fixed-priority
+// scheduling. It returns false when the job was truncated by a stop
+// request (§4.1) or the VM is shutting down; the logic should then
+// abandon the job and call WaitForNextPeriod.
+func (th *RealtimeThread) Compute(d vtime.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	msg := th.call(request{th: th, kind: reqCompute, d: d})
+	return msg.ok
+}
+
+// WaitForNextPeriod completes the current job and blocks until the
+// next release, mirroring RealtimeThread.waitForNextPeriod(). It
+// returns false when the VM reached its horizon.
+func (th *RealtimeThread) WaitForNextPeriod() bool {
+	msg := th.call(request{th: th, kind: reqWait})
+	return msg.ok
+}
+
+// JobIndex returns the current 0-based job index (-1 before the first
+// release).
+func (th *RealtimeThread) JobIndex() int64 { return th.jobIndex }
+
+// FinishedJobs returns the number of completed jobs (the §3.1 job
+// counter).
+func (th *RealtimeThread) FinishedJobs() int64 { return th.finishedJobs }
+
+// Stopped reports whether the thread's current job was asked to stop.
+func (th *RealtimeThread) Stopped() bool { return th.stopFlag }
+
+// requestStop raises the §4.1 boolean; the running compute (if any)
+// is truncated at its next poll boundary.
+func (th *RealtimeThread) requestStop(vm *VM, q int64, now vtime.Time) {
+	if th.finishedJobs > q || th.dead {
+		return
+	}
+	vm.log.Append(trace.Event{At: now, Kind: trace.StopRequest, Task: th.name, Job: q})
+	th.stopFlag = true
+	th.stopJob = q
+	if th.jobIndex == q && th.remaining > 0 {
+		vm.truncateForStop(th)
+	}
+}
+
+// AsyncEventHandler is the RTSJ handler type fired by timers.
+type AsyncEventHandler func(now vtime.Time)
+
+// PeriodicTimer mirrors javax.realtime.PeriodicTimer: first release
+// at Start (quantized up to the VM timer resolution, like jRate's
+// 10 ms PeriodicTimer), then every Interval.
+type PeriodicTimer struct {
+	Start    vtime.Duration
+	Interval vtime.Duration
+	Handler  AsyncEventHandler
+
+	armed bool
+}
+
+// NewPeriodicTimer registers a timer with the VM.
+func (vm *VM) NewPeriodicTimer(start, interval vtime.Duration, h AsyncEventHandler) *PeriodicTimer {
+	tm := &PeriodicTimer{Start: start, Interval: interval, Handler: h}
+	vm.timers = append(vm.timers, tm)
+	return tm
+}
+
+// arm schedules the quantized first release and the periodic chain.
+func (tm *PeriodicTimer) arm(vm *VM) {
+	if tm.armed || tm.Handler == nil || tm.Interval <= 0 {
+		return
+	}
+	tm.armed = true
+	first := tm.Start.Ceil(vm.cfg.TimerResolution)
+	var fire func(at vtime.Time, k int64)
+	fire = func(at vtime.Time, k int64) {
+		vm.schedule(at, func(now vtime.Time) {
+			tm.Handler(now)
+			fire(now.Add(tm.Interval), k+1)
+		})
+	}
+	fire(vtime.Time(first), 0)
+}

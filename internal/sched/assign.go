@@ -1,0 +1,109 @@
+// Package sched provides fixed-priority assignment policies for the
+// admission control: rate monotonic (Liu & Layland [11]), deadline
+// monotonic (Audsley, Burns, Richardson & Wellings [1], cited by the
+// paper as the arbitrary-deadline entry point), and Audsley's optimal
+// priority assignment (OPA), which finds a feasible priority order
+// whenever one exists under the exact response-time test. The paper
+// takes priorities as given (RTSJ PriorityParameters); these helpers
+// let users of the library derive them.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/taskset"
+)
+
+// RateMonotonic returns a copy of the set with priorities assigned by
+// period: the shorter the period, the higher the priority (optimal
+// for implicit deadlines, Liu & Layland). Ties break by declaration
+// order, earlier = higher.
+func RateMonotonic(s *taskset.Set) *taskset.Set {
+	return assignBy(s, func(a, b taskset.Task) bool { return a.Period < b.Period })
+}
+
+// DeadlineMonotonic returns a copy with priorities assigned by
+// relative deadline: the shorter the deadline, the higher the
+// priority (optimal for constrained deadlines D ≤ T, Audsley et al.).
+func DeadlineMonotonic(s *taskset.Set) *taskset.Set {
+	return assignBy(s, func(a, b taskset.Task) bool { return a.Deadline < b.Deadline })
+}
+
+// assignBy orders tasks by the given higher-first relation and
+// assigns descending integer priorities n..1.
+func assignBy(s *taskset.Set, higher func(a, b taskset.Task) bool) *taskset.Set {
+	c := s.Clone()
+	idx := make([]int, c.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return higher(c.Tasks[idx[a]], c.Tasks[idx[b]])
+	})
+	for rank, i := range idx {
+		c.Tasks[i].Priority = c.Len() - rank
+	}
+	return c
+}
+
+// Audsley runs Audsley's optimal priority assignment over the exact
+// response-time test: it fills priority levels from the lowest up,
+// at each level finding some task that is feasible there given all
+// unassigned tasks above it. If it succeeds the returned set is
+// feasible; if no task fits some level, no fixed-priority assignment
+// can make the set feasible (under this test) and an error names the
+// level.
+func Audsley(s *taskset.Set) (*taskset.Set, error) {
+	c := s.Clone()
+	n := c.Len()
+	assigned := make([]bool, n)
+	// Work on a scratch copy whose priorities we rewrite per probe.
+	for level := 1; level <= n; level++ {
+		placed := false
+		for i := 0; i < n && !placed; i++ {
+			if assigned[i] {
+				continue
+			}
+			probe := c.Clone()
+			// Candidate i gets the current (low) level; every other
+			// unassigned task gets a priority above every assigned
+			// level; assigned tasks keep their levels.
+			hi := n + 1
+			for j := 0; j < n; j++ {
+				switch {
+				case j == i:
+					probe.Tasks[j].Priority = level
+				case assigned[j]:
+					// keep the already-assigned level in c
+					probe.Tasks[j].Priority = c.Tasks[j].Priority
+				default:
+					probe.Tasks[j].Priority = hi
+					hi++
+				}
+			}
+			wcrt, err := analysis.WCResponseTime(probe, i, 0)
+			if err != nil {
+				continue // unbounded at this level: try another task
+			}
+			if wcrt <= probe.Tasks[i].Deadline {
+				c.Tasks[i].Priority = level
+				assigned[i] = true
+				placed = true
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("sched: no task is feasible at priority level %d; no fixed-priority assignment exists", level)
+		}
+	}
+	return c, nil
+}
+
+// Feasible reports whether the set, with its current priorities,
+// passes the exact admission control — a convenience wrapper used by
+// assignment comparisons.
+func Feasible(s *taskset.Set) bool {
+	rep, err := analysis.Feasible(s)
+	return err == nil && rep.Feasible
+}

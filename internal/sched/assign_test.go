@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+)
+
+func ms(v int64) vtime.Duration { return vtime.Millis(v) }
+
+func task(name string, T, D, C int64) taskset.Task {
+	return taskset.Task{Name: name, Period: ms(T), Deadline: ms(D), Cost: ms(C)}
+}
+
+func prios(s *taskset.Set) map[string]int {
+	out := map[string]int{}
+	for _, t := range s.Tasks {
+		out[t.Name] = t.Priority
+	}
+	return out
+}
+
+func TestRateMonotonic(t *testing.T) {
+	s := taskset.MustNew(
+		withPrio(task("slow", 300, 300, 10), 1),
+		withPrio(task("fast", 50, 50, 5), 2),
+		withPrio(task("mid", 100, 100, 5), 3),
+	)
+	rm := RateMonotonic(s)
+	p := prios(rm)
+	if !(p["fast"] > p["mid"] && p["mid"] > p["slow"]) {
+		t.Fatalf("RM order wrong: %v", p)
+	}
+	// Original untouched.
+	if s.Tasks[0].Priority != 1 {
+		t.Error("RateMonotonic mutated its input")
+	}
+}
+
+func withPrio(t taskset.Task, p int) taskset.Task {
+	t.Priority = p
+	return t
+}
+
+func TestDeadlineMonotonic(t *testing.T) {
+	// Same periods, different deadlines: DM must order by deadline.
+	s := taskset.MustNew(
+		withPrio(task("loose", 100, 90, 5), 1),
+		withPrio(task("tight", 100, 20, 5), 2),
+		withPrio(task("mid", 100, 50, 5), 3),
+	)
+	dm := DeadlineMonotonic(s)
+	p := prios(dm)
+	if !(p["tight"] > p["mid"] && p["mid"] > p["loose"]) {
+		t.Fatalf("DM order wrong: %v", p)
+	}
+}
+
+func TestRMTiesStable(t *testing.T) {
+	s := taskset.MustNew(
+		withPrio(task("a", 100, 100, 5), 1),
+		withPrio(task("b", 100, 100, 5), 2),
+	)
+	rm := RateMonotonic(s)
+	p := prios(rm)
+	if p["a"] <= p["b"] {
+		t.Fatalf("ties must break by declaration order: %v", p)
+	}
+}
+
+// TestDMBeatsRMOnConstrainedDeadlines: the classical case where RM
+// fails but DM succeeds — a long-period task with a tight deadline.
+func TestDMBeatsRMOnConstrainedDeadlines(t *testing.T) {
+	s := taskset.MustNew(
+		withPrio(task("longTight", 200, 20, 10), 1),
+		withPrio(task("shortLoose", 50, 50, 20), 2),
+	)
+	rm := RateMonotonic(s)
+	dm := DeadlineMonotonic(s)
+	if Feasible(rm) {
+		t.Fatal("RM should fail here: longTight (D=20) sits below shortLoose (C=20)")
+	}
+	if !Feasible(dm) {
+		t.Fatal("DM must succeed: longTight first (R=10 <= 20), shortLoose R=30 <= 50")
+	}
+}
+
+func TestAudsleyFindsAssignmentWhereMonotonicsFail(t *testing.T) {
+	// Arbitrary-deadline case (D > T allowed): neither RM nor DM is
+	// optimal in general; Audsley over the exact test is.
+	s := taskset.MustNew(
+		withPrio(task("a", 50, 120, 20), 1),
+		withPrio(task("b", 80, 40, 20), 2),
+		withPrio(task("c", 200, 200, 40), 3),
+	)
+	got, err := Audsley(s)
+	if err != nil {
+		t.Fatalf("Audsley: %v", err)
+	}
+	if !Feasible(got) {
+		t.Fatal("Audsley returned an infeasible assignment")
+	}
+}
+
+func TestAudsleyAgreesWithFeasibilityOnRandomSets(t *testing.T) {
+	// Wherever DM already yields feasibility, Audsley must too
+	// (optimality: it finds an assignment whenever one exists).
+	gen := taskset.NewGenerator(21)
+	gen.DeadlineFactor = 0.9
+	checked := 0
+	for trial := 0; trial < 120 && checked < 40; trial++ {
+		s, err := gen.Generate(4, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm := DeadlineMonotonic(s)
+		if !Feasible(dm) {
+			continue
+		}
+		checked++
+		aud, err := Audsley(s)
+		if err != nil {
+			t.Fatalf("trial %d: DM feasible but Audsley failed: %v\n%s", trial, err, taskset.Format(s))
+		}
+		if !Feasible(aud) {
+			t.Fatalf("trial %d: Audsley produced an infeasible set", trial)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d DM-feasible sets; generator too tight", checked)
+	}
+}
+
+func TestAudsleyRejectsHopelessSet(t *testing.T) {
+	s := taskset.MustNew(
+		withPrio(task("a", 10, 10, 7), 1),
+		withPrio(task("b", 10, 10, 7), 2),
+	)
+	if _, err := Audsley(s); err == nil {
+		t.Fatal("U = 1.4 has no feasible assignment; Audsley must fail")
+	}
+}
+
+func TestAudsleyPreservesTaskParameters(t *testing.T) {
+	s := taskset.MustNew(
+		withPrio(task("a", 100, 100, 10), 1),
+		withPrio(task("b", 200, 200, 10), 2),
+	)
+	got, err := Audsley(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		a, b := s.Tasks[i], got.Tasks[i]
+		if a.Name != b.Name || a.Period != b.Period || a.Deadline != b.Deadline || a.Cost != b.Cost {
+			t.Fatalf("Audsley altered task parameters: %+v vs %+v", a, b)
+		}
+	}
+	// Priorities form a permutation of 1..n.
+	seen := map[int]bool{}
+	for _, tk := range got.Tasks {
+		if tk.Priority < 1 || tk.Priority > got.Len() || seen[tk.Priority] {
+			t.Fatalf("priorities not a permutation: %v", prios(got))
+		}
+		seen[tk.Priority] = true
+	}
+}

@@ -1,0 +1,110 @@
+package taskset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// The task-file format mirrors the paper's measurement tool: a plain
+// text file describing the tasks of the system, one task per line.
+//
+//	# comment
+//	task <name> priority=<int> period=<dur> deadline=<dur> cost=<dur> [offset=<dur>] [value=<float>]
+//
+// Durations accept ns/us/ms/s suffixes; a bare number is milliseconds
+// (the unit of the paper's tables). Example, the paper's Table 2:
+//
+//	task tau1 priority=20 period=200 deadline=70  cost=29
+//	task tau2 priority=18 period=250 deadline=120 cost=29
+//	task tau3 priority=16 period=1500 deadline=120 cost=29
+
+// Parse reads a task file from r and builds the validated Set.
+func Parse(r io.Reader) (*Set, error) {
+	var tasks []Task
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "task" {
+			return nil, fmt.Errorf("taskset: line %d: expected \"task\", got %q", lineno, fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("taskset: line %d: task line needs a name", lineno)
+		}
+		t := Task{Name: fields[1]}
+		seen := map[string]bool{}
+		for _, f := range fields[2:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("taskset: line %d: malformed attribute %q (want key=value)", lineno, f)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("taskset: line %d: duplicate attribute %q", lineno, key)
+			}
+			seen[key] = true
+			var err error
+			switch key {
+			case "priority":
+				t.Priority, err = strconv.Atoi(val)
+			case "period":
+				t.Period, err = vtime.ParseDuration(val)
+			case "deadline":
+				t.Deadline, err = vtime.ParseDuration(val)
+			case "cost":
+				t.Cost, err = vtime.ParseDuration(val)
+			case "offset":
+				t.Offset, err = vtime.ParseDuration(val)
+			case "value":
+				t.Value, err = strconv.ParseFloat(val, 64)
+			default:
+				return nil, fmt.Errorf("taskset: line %d: unknown attribute %q", lineno, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("taskset: line %d: attribute %s: %v", lineno, key, err)
+			}
+		}
+		for _, req := range []string{"priority", "period", "deadline", "cost"} {
+			if !seen[req] {
+				return nil, fmt.Errorf("taskset: line %d: task %s is missing required attribute %q", lineno, t.Name, req)
+			}
+		}
+		tasks = append(tasks, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("taskset: reading task file: %v", err)
+	}
+	return New(tasks...)
+}
+
+// ParseString is Parse over an in-memory task description.
+func ParseString(s string) (*Set, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Format renders the set back into the task-file format accepted by
+// Parse, so that Parse(Format(s)) round-trips.
+func Format(s *Set) string {
+	var b strings.Builder
+	for _, t := range s.Tasks {
+		fmt.Fprintf(&b, "task %s priority=%d period=%s deadline=%s cost=%s",
+			t.Name, t.Priority, t.Period, t.Deadline, t.Cost)
+		if t.Offset != 0 {
+			fmt.Fprintf(&b, " offset=%s", t.Offset)
+		}
+		if t.Value != 0 {
+			fmt.Fprintf(&b, " value=%g", t.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

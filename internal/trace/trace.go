@@ -1,0 +1,256 @@
+// Package trace records the key dates in the system life, exactly the
+// data the paper's measurement tools collect (§5): the beginning and
+// end of each job, detector releases, plus the scheduling detail the
+// charts draw (starts, preemptions, resumptions, stops, deadline
+// misses). Events carry nanosecond virtual timestamps. Like the
+// paper's StringBuffer discipline, the recorder appends to a
+// preallocated in-memory buffer during the run and is encoded to a
+// log file only afterwards, so recording cannot perturb the system.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Kind enumerates trace event kinds.
+type Kind uint8
+
+// Event kinds. JobBegin/JobEnd correspond to the paper's
+// computeBeforePeriodic()/computeAfterPeriodic() instants;
+// DetectorRelease is the release of a detector; the rest are
+// scheduler-level detail.
+const (
+	// JobRelease: a job became eligible (period boundary).
+	JobRelease Kind = iota
+	// JobBegin: the job's first dispatch (computeBeforePeriodic).
+	JobBegin
+	// JobPreempt: the running job was preempted.
+	JobPreempt
+	// JobResume: a preempted job was dispatched again.
+	JobResume
+	// JobEnd: the job completed its work (computeAfterPeriodic).
+	JobEnd
+	// DeadlineMiss: the job's absolute deadline passed unfinished.
+	DeadlineMiss
+	// DetectorRelease: a detector timer fired and checked the job.
+	DetectorRelease
+	// FaultDetected: the detector found the job unfinished.
+	FaultDetected
+	// StopRequest: a treatment asked the task to stop.
+	StopRequest
+	// JobStopped: the job observed the stop flag and terminated
+	// without completing its work.
+	JobStopped
+	// AllowanceGrant: the system-allowance treatment granted extra
+	// time to a faulty task (Arg = grant in ns).
+	AllowanceGrant
+	// TaskAdded: dynamic admission added a task at runtime.
+	TaskAdded
+	// TaskRemoved: dynamic admission removed a task at runtime.
+	TaskRemoved
+)
+
+var kindNames = [...]string{
+	JobRelease:      "release",
+	JobBegin:        "begin",
+	JobPreempt:      "preempt",
+	JobResume:       "resume",
+	JobEnd:          "end",
+	DeadlineMiss:    "miss",
+	DetectorRelease: "detector",
+	FaultDetected:   "fault",
+	StopRequest:     "stopreq",
+	JobStopped:      "stopped",
+	AllowanceGrant:  "grant",
+	TaskAdded:       "addtask",
+	TaskRemoved:     "rmtask",
+}
+
+// String names the kind as used in the log format.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// parseKind inverts String.
+func parseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	// At is the virtual instant of the event.
+	At vtime.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Task names the task concerned ("" for system-wide events).
+	Task string
+	// Job is the 0-based job index within the task (-1 if n/a).
+	Job int64
+	// Arg carries event-specific data: for AllowanceGrant the grant
+	// duration in ns, for StopRequest the scheduled stop instant.
+	Arg int64
+}
+
+// Log is an append-only sequence of events ordered by record time.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns a Log preallocated for n events, mirroring the
+// paper's preallocated StringBuffer fields (§5): appends during a run
+// should not allocate.
+func NewLog(n int) *Log {
+	return &Log{events: make([]Event, 0, n)}
+}
+
+// Append records an event.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Events returns the recorded events in record order. The slice is
+// the log's backing store; callers must not mutate it.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Filter returns the events satisfying keep, preserving order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TaskEvents returns the events of one task, preserving order.
+func (l *Log) TaskEvents(task string) []Event {
+	return l.Filter(func(e Event) bool { return e.Task == task })
+}
+
+// Window returns the events with from ≤ At < to, preserving order.
+func (l *Log) Window(from, to vtime.Time) []Event {
+	return l.Filter(func(e Event) bool { return !e.At.Before(from) && e.At.Before(to) })
+}
+
+// Tasks returns the sorted set of task names appearing in the log.
+func (l *Log) Tasks() []string {
+	seen := map[string]bool{}
+	for _, e := range l.events {
+		if e.Task != "" {
+			seen[e.Task] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode writes the log in the text format parsed by Decode:
+// one event per line, "t=<ns> <kind> <task> <job> [arg=<int>]".
+func (l *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.events {
+		task := e.Task
+		if task == "" {
+			task = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "t=%d %s %s %d", int64(e.At), e.Kind, task, e.Job); err != nil {
+			return err
+		}
+		if e.Arg != 0 {
+			if _, err := fmt.Fprintf(bw, " arg=%d", e.Arg); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeString returns the text encoding of the log.
+func (l *Log) EncodeString() string {
+	var b strings.Builder
+	// Strings.Builder writes cannot fail.
+	_ = l.Encode(&b)
+	return b.String()
+}
+
+// Decode parses a log in the Encode format.
+func Decode(r io.Reader) (*Log, error) {
+	l := NewLog(256)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("trace: line %d: want at least 4 fields, got %q", lineno, line)
+		}
+		tsStr, ok := strings.CutPrefix(fields[0], "t=")
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: missing t= timestamp", lineno)
+		}
+		ts, err := strconv.ParseInt(tsStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineno, err)
+		}
+		kind, err := parseKind(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+		task := fields[2]
+		if task == "-" {
+			task = ""
+		}
+		job, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad job index: %v", lineno, err)
+		}
+		e := Event{At: vtime.Time(ts), Kind: kind, Task: task, Job: job}
+		for _, f := range fields[4:] {
+			if v, ok := strings.CutPrefix(f, "arg="); ok {
+				e.Arg, err = strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad arg: %v", lineno, err)
+				}
+			} else {
+				return nil, fmt.Errorf("trace: line %d: unknown field %q", lineno, f)
+			}
+		}
+		l.Append(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading log: %v", err)
+	}
+	return l, nil
+}
+
+// DecodeString parses an in-memory log.
+func DecodeString(s string) (*Log, error) { return Decode(strings.NewReader(s)) }

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func ev(atMS int64, k Kind, task string, job int64) Event {
+	return Event{At: vtime.AtMillis(atMS), Kind: k, Task: task, Job: job}
+}
+
+func sample() *Log {
+	l := NewLog(16)
+	l.Append(ev(0, JobRelease, "tau1", 0))
+	l.Append(ev(0, JobBegin, "tau1", 0))
+	l.Append(ev(29, JobEnd, "tau1", 0))
+	l.Append(ev(30, DetectorRelease, "tau1", 0))
+	l.Append(ev(1000, JobRelease, "tau3", 0))
+	l.Append(ev(1120, DeadlineMiss, "tau3", 0))
+	l.Append(Event{At: vtime.AtMillis(1030), Kind: AllowanceGrant, Task: "tau1", Job: 5, Arg: 33_000_000})
+	l.Append(Event{At: vtime.AtMillis(2000), Kind: TaskAdded, Task: "dyn", Job: -1})
+	return l
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	l := sample()
+	if l.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", l.Len())
+	}
+	if len(l.Events()) != l.Len() {
+		t.Fatal("Events length mismatch")
+	}
+}
+
+func TestFilterWindowTaskEvents(t *testing.T) {
+	l := sample()
+	if n := len(l.TaskEvents("tau1")); n != 5 {
+		t.Errorf("tau1 events = %d, want 5", n)
+	}
+	w := l.Window(vtime.AtMillis(1000), vtime.AtMillis(1200))
+	if len(w) != 3 {
+		t.Errorf("window events = %d, want 3 (release, miss, grant)", len(w))
+	}
+	misses := l.Filter(func(e Event) bool { return e.Kind == DeadlineMiss })
+	if len(misses) != 1 || misses[0].Task != "tau3" {
+		t.Errorf("misses = %+v", misses)
+	}
+}
+
+func TestTasksSorted(t *testing.T) {
+	got := sample().Tasks()
+	want := []string{"dyn", "tau1", "tau3"}
+	if len(got) != len(want) {
+		t.Fatalf("Tasks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tasks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := sample()
+	text := l.EncodeString()
+	back, err := DecodeString(text)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, text)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), l.Len())
+	}
+	for i, e := range l.Events() {
+		if back.Events()[i] != e {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, e, back.Events()[i])
+		}
+	}
+}
+
+func TestDecodeToleratesCommentsAndBlankLines(t *testing.T) {
+	text := "# a comment\n\nt=1000000 release tau1 0\n"
+	l, err := DecodeString(text)
+	if err != nil || l.Len() != 1 {
+		t.Fatalf("decode: %v, len %d", err, l.Len())
+	}
+	e := l.Events()[0]
+	if e.At != vtime.AtMillis(1) || e.Kind != JobRelease || e.Task != "tau1" {
+		t.Errorf("decoded %+v", e)
+	}
+}
+
+func TestDecodeSystemEvents(t *testing.T) {
+	// "-" denotes the empty task name.
+	l, err := DecodeString("t=5 addtask - -1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Events()[0].Task != "" || l.Events()[0].Job != -1 {
+		t.Errorf("decoded %+v", l.Events()[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"t=1 release tau1",          // missing job
+		"x=1 release tau1 0",        // missing t=
+		"t=abc release tau1 0",      // bad timestamp
+		"t=1 explode tau1 0",        // unknown kind
+		"t=1 release tau1 zero",     // bad job
+		"t=1 release tau1 0 arg=z",  // bad arg
+		"t=1 release tau1 0 zork=1", // unknown field
+	}
+	for _, s := range bad {
+		if _, err := DecodeString(s); err == nil {
+			t.Errorf("expected decode error for %q", s)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := JobRelease; k <= TaskRemoved; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		back, err := parseKind(s)
+		if err != nil || back != k {
+			t.Errorf("parseKind(%q) = %v, %v", s, back, err)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind must still render")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary events.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(atNS int64, kindRaw uint8, job int64, arg int64) bool {
+		if atNS < 0 {
+			atNS = -atNS
+		}
+		k := Kind(kindRaw % 13)
+		l := NewLog(1)
+		l.Append(Event{At: vtime.Time(atNS), Kind: k, Task: "t", Job: job, Arg: arg})
+		back, err := DecodeString(l.EncodeString())
+		if err != nil || back.Len() != 1 {
+			return false
+		}
+		return back.Events()[0] == l.Events()[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendDoesNotAllocateWithinCapacity(t *testing.T) {
+	l := NewLog(1000)
+	allocs := testing.AllocsPerRun(100, func() {
+		if l.Len() >= 900 {
+			l.events = l.events[:0]
+		}
+		l.Append(Event{At: 1, Kind: JobBegin, Task: "x"})
+	})
+	if allocs > 0 {
+		t.Errorf("Append allocates %.1f per call within capacity; the §5 recording discipline requires none", allocs)
+	}
+}
