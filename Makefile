@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml so tier-1 verify is one command
+# locally: `make ci`.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench

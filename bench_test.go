@@ -8,7 +8,9 @@
 package repro
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/aperiodic"
@@ -173,6 +175,62 @@ func BenchmarkSweepFaultMagnitude(b *testing.B) {
 	}
 	b.ReportMetric(worstNoDet, "worst_success_nodetect")
 	b.ReportMetric(worstStop, "worst_success_stop")
+}
+
+// BenchmarkSweepFaultMagnitudeSerial runs the 13-magnitude × 5-
+// treatment X2 sweep (65 simulations) strictly serially — the
+// baseline the parallel benchmarks are read against.
+func BenchmarkSweepFaultMagnitudeSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultMagnitudeSweepCtx(context.Background(), ms(60), ms(5),
+			experiments.RunOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepFaultMagnitudeParallel shards the same 65 simulations
+// across every core via internal/runner.
+func BenchmarkSweepFaultMagnitudeParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultMagnitudeSweepCtx(context.Background(), ms(60), ms(5),
+			experiments.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures, inside one benchmark, the
+// wall-clock ratio of the serial X2 sweep (65 independent
+// simulations) to the same sweep on four runner workers, checks the
+// two renders are byte-identical, and reports the ratio as
+// speedup_x. On a multi-core machine the acceptance bar is > 1.5.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	ctx := context.Background()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := experiments.FaultMagnitudeSweepCtx(ctx, ms(60), ms(5),
+			experiments.RunOptions{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialDur := time.Since(t0)
+
+		t0 = time.Now()
+		par, err := experiments.FaultMagnitudeSweepCtx(ctx, ms(60), ms(5),
+			experiments.RunOptions{Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parDur := time.Since(t0)
+
+		if experiments.RenderSweep(serial) != experiments.RenderSweep(par) {
+			b.Fatal("parallel sweep diverged from serial")
+		}
+		speedup = float64(serialDur) / float64(parDur)
+	}
+	b.ReportMetric(speedup, "speedup_x")
 }
 
 // BenchmarkSweepDetectorOverhead (X1) quantifies the §6.2 remark that

@@ -4,14 +4,28 @@
 // Usage:
 //
 //	rtexp                 # run everything
-//	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x5
+//	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x4|x5|x9
 //	rtexp -svg charts/    # additionally write one SVG per figure
+//	rtexp -parallel 8     # shard sweep simulations over 8 workers
+//	rtexp -serial         # force the serial path (same output, one sim at a time)
+//	rtexp -progress       # live done/total counts on stderr
+//	rtexp -json           # machine-readable artefacts, one JSON object per line
+//
+// Simulation sweeps (x1..x5) run through internal/runner, so
+// -parallel changes wall-clock time but never the output: results
+// are collected in input order and every simulation draws from its
+// own derived seed. Interrupting with ^C cancels the in-flight
+// sweep cleanly. x9 is a closed-form analysis, not a simulation
+// sweep; it runs inline and ignores the parallelism knobs.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/chart"
@@ -22,109 +36,152 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "artefact to regenerate")
-		svgDir = flag.String("svg", "", "directory to write per-figure SVG charts")
+		which    = flag.String("exp", "all", "artefact to regenerate")
+		svgDir   = flag.String("svg", "", "directory to write per-figure SVG charts")
+		parallel = flag.Int("parallel", 0, "worker count for sweep simulations (0 = all cores)")
+		serial   = flag.Bool("serial", false, "force serial execution (equivalent to -parallel 1)")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		jsonOut  = flag.Bool("json", false, "emit artefacts as JSON lines instead of tables")
 	)
 	flag.Parse()
-	run := func(name string, fn func() error) {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// run executes one artefact: fn returns the structured data (for
+	// -json) and the rendered text (for humans).
+	run := func(name string, fn func(opt experiments.RunOptions) (any, string, error)) {
 		if *which != "all" && *which != name {
 			return
 		}
-		if err := fn(); err != nil {
+		opt := experiments.RunOptions{Parallelism: *parallel}
+		if *serial {
+			opt.Parallelism = 1
+		}
+		if *progress {
+			opt.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", name, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		data, text, err := fn(opt)
+		if err != nil {
+			if *progress {
+				// The progress line ends in \r, not \n; leave it
+				// intact instead of splicing the error over it.
+				fmt.Fprintln(os.Stderr)
+			}
 			fmt.Fprintf(os.Stderr, "rtexp: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(struct {
+				Artefact string `json:"artefact"`
+				Data     any    `json:"data"`
+			}{name, data}); err != nil {
+				fmt.Fprintf(os.Stderr, "rtexp: %s: encode: %v\n", name, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(text)
+		}
 	}
-	run("table1", func() error {
+
+	run("table1", func(experiments.RunOptions) (any, string, error) {
 		rows, err := experiments.Table1()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RenderTable1(rows))
-		return nil
+		return rows, experiments.RenderTable1(rows), nil
 	})
-	run("table2", func() error {
+	run("table2", func(experiments.RunOptions) (any, string, error) {
 		rows, err := experiments.Table2()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RenderTable2(rows))
-		return nil
+		return rows, experiments.RenderTable2(rows), nil
 	})
-	run("table3", func() error {
+	run("table3", func(experiments.RunOptions) (any, string, error) {
 		rows, err := experiments.Table3()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RenderTable3(rows))
-		return nil
+		return rows, experiments.RenderTable3(rows), nil
 	})
 	for _, fig := range []experiments.Figure{
 		experiments.Figure3, experiments.Figure4, experiments.Figure5,
 		experiments.Figure6, experiments.Figure7,
 	} {
 		fig := fig
-		run(fmt.Sprintf("fig%d", int(fig)), func() error { return runFigure(fig, *svgDir) })
+		run(fmt.Sprintf("fig%d", int(fig)), func(experiments.RunOptions) (any, string, error) {
+			return runFigure(fig, *svgDir)
+		})
 	}
-	run("x1", func() error {
-		points, err := experiments.DetectorOverheadSweep([]int{2, 4, 8, 16}, 7)
+	run("x1", func(opt experiments.RunOptions) (any, string, error) {
+		points, err := experiments.DetectorOverheadSweepCtx(ctx, []int{2, 4, 8, 16}, 7, opt)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println("X1 — detector overhead vs task count")
-		fmt.Printf("%6s %10s %10s %12s\n", "tasks", "detectors", "switches", "traceBytes")
+		text := "X1 — detector overhead vs task count\n"
+		text += fmt.Sprintf("%6s %10s %10s %12s\n", "tasks", "detectors", "switches", "traceBytes")
 		for _, p := range points {
-			fmt.Printf("%6d %10v %10d %12d\n", p.Tasks, p.Detectors, p.Switches, p.TraceBytes)
+			text += fmt.Sprintf("%6d %10v %10d %12d\n", p.Tasks, p.Detectors, p.Switches, p.TraceBytes)
 		}
-		fmt.Println()
-		return nil
+		return points, text, nil
 	})
-	run("x2", func() error {
-		points, err := experiments.FaultMagnitudeSweep(vtime.Millis(60), vtime.Millis(5))
+	run("x2", func(opt experiments.RunOptions) (any, string, error) {
+		points, err := experiments.FaultMagnitudeSweepCtx(ctx, vtime.Millis(60), vtime.Millis(5), opt)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RenderSweep(points))
-		return nil
+		return points, experiments.RenderSweep(points), nil
 	})
-	run("x3", func() error {
-		points, err := experiments.TimerResolutionSweep()
+	run("x3", func(opt experiments.RunOptions) (any, string, error) {
+		points, err := experiments.TimerResolutionSweepCtx(ctx, opt)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println("X3 — timer resolution sensitivity")
-		fmt.Printf("%12s %-20s %10s %10s\n", "resolution", "treatment", "tau1Ran", "collateral")
+		text := "X3 — timer resolution sensitivity\n"
+		text += fmt.Sprintf("%12s %-20s %10s %10s\n", "resolution", "treatment", "tau1Ran", "collateral")
 		for _, p := range points {
-			fmt.Printf("%12v %-20s %10v %10d\n", p.Resolution, p.Treatment, p.Tau1Ran, p.Collateral)
+			text += fmt.Sprintf("%12v %-20s %10v %10d\n", p.Resolution, p.Treatment, p.Tau1Ran, p.Collateral)
 		}
-		fmt.Println()
-		return nil
+		return points, text, nil
 	})
-	run("x9", func() error {
+	run("x9", func(experiments.RunOptions) (any, string, error) {
 		out, err := experiments.BlockingSweep()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(out)
-		return nil
+		return out, out, nil
 	})
-	run("x5", func() error {
-		points, err := experiments.AcceptanceSweep(
-			[]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, 200, 5, 11)
+	run("x5", func(opt experiments.RunOptions) (any, string, error) {
+		points, err := experiments.AcceptanceSweepCtx(ctx,
+			[]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, 200, 5, 11, opt)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Println(experiments.RenderAcceptance(points))
-		return nil
+		return points, experiments.RenderAcceptance(points), nil
+	})
+	run("x4", func(opt experiments.RunOptions) (any, string, error) {
+		points, err := experiments.BaselineComparisonCtx(ctx, vtime.Millis(50), 6*vtime.Second, opt)
+		if err != nil {
+			return nil, "", err
+		}
+		return points, experiments.RenderBaselines(points), nil
 	})
 }
 
-func runFigure(fig experiments.Figure, svgDir string) error {
+func runFigure(fig experiments.Figure, svgDir string) (any, string, error) {
 	res, err := experiments.RunFigure(fig)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	fmt.Println(experiments.RenderOutcome(experiments.Outcome(fig, res)))
+	outcome := experiments.Outcome(fig, res)
+	text := experiments.RenderOutcome(outcome) + "\n"
 	from, to := experiments.FigureWindow()
 	opts := chart.Options{
 		From: from, To: to, CellMS: 2,
@@ -138,17 +195,17 @@ func runFigure(fig experiments.Figure, svgDir string) error {
 	deadlines := map[string]vtime.Duration{
 		"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120),
 	}
-	fmt.Println(chart.ASCII(res.Log, opts, deadlines))
-	fmt.Println(metrics.Analyze(res.Log).Render())
+	text += chart.ASCII(res.Log, opts, deadlines) + "\n"
+	text += metrics.Analyze(res.Log).Render()
 	if svgDir != "" {
 		if err := os.MkdirAll(svgDir, 0o755); err != nil {
-			return err
+			return nil, "", err
 		}
 		path := filepath.Join(svgDir, fmt.Sprintf("figure%d.svg", int(fig)))
 		if err := os.WriteFile(path, []byte(chart.SVG(res.Log, opts, deadlines)), 0o644); err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Printf("wrote %s\n\n", path)
+		text += fmt.Sprintf("wrote %s\n", path)
 	}
-	return nil
+	return outcome, text, nil
 }

@@ -23,8 +23,34 @@
 //   - internal/rtsj — RTSJ-flavoured API (RealtimeThreadExtended…)
 //   - internal/baselines — best-effort/RED/D-over comparators
 //   - internal/experiments — one constructor per table and figure
+//   - internal/runner — the parallel experiment-execution substrate
 //   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp — tools
 //   - examples/ — five runnable walkthroughs
+//
+// # Parallel experiment execution
+//
+// Every simulation sweep (X1, X2, X3, X5 and the X4 baseline
+// comparison) submits its independent simulations to
+// internal/runner, a context-aware worker
+// pool that shards jobs across GOMAXPROCS goroutines behind a bounded
+// queue. Three properties make the parallel path safe to use for
+// reproduction artefacts:
+//
+//   - results are collected in input order, so rendered tables are
+//     byte-identical to a serial run (cross-checked by tests and by
+//     BenchmarkParallelSpeedup);
+//   - no simulation shares RNG state — each job derives its own
+//     SplitMix64 seed via runner.DeriveSeed;
+//   - cancellation (rtexp ^C) stops submission promptly, and a
+//     failing simulation cancels the remainder while every observed
+//     error is aggregated via errors.Join.
+//
+// cmd/rtexp exposes the pool: -parallel N picks the worker count
+// (0 = all cores), -serial forces the one-at-a-time path, -progress
+// reports live done/total counts on stderr, and -json switches the
+// artefacts to machine-readable JSON lines. X9 (the blocking
+// trade-off) is a single closed-form analysis rather than a
+// simulation sweep, so it runs inline and ignores those knobs.
 //
 // The benchmark harness in bench_test.go regenerates every published
 // artefact: go test -bench=. -benchmem.

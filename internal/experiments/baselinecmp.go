@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/vtime"
 )
 
@@ -36,35 +38,44 @@ type BaselinePoint struct {
 // cheap detectors, rather than generic overload handling — shows up
 // as the FPP+Stop row protecting τ2/τ3 completely.
 func BaselineComparison(extra vtime.Duration, horizon vtime.Duration) ([]BaselinePoint, error) {
+	return BaselineComparisonCtx(context.Background(), extra, horizon, RunOptions{})
+}
+
+// BaselineComparisonCtx is BaselineComparison over the runner pool:
+// each policy's run is an independent simulation, the paper's
+// detector-supervised run first, the five overload schedulers after,
+// collected in that order.
+func BaselineComparisonCtx(ctx context.Context, extra vtime.Duration, horizon vtime.Duration, opt RunOptions) ([]BaselinePoint, error) {
 	faults := fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 2, Extra: extra}}
-	var out []BaselinePoint
 
-	// The paper's approach.
-	sys, err := core.NewSystem(core.Config{
-		Tasks:           FigureSet(),
-		Treatment:       detect.Stop,
-		Faults:          faults,
-		Horizon:         horizon,
-		TimerResolution: detect.DefaultTimerResolution,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := sys.Run()
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, point("fp+detectors(stop)", res.Report))
-
-	// The alternatives, same engine, no detectors.
+	// A nil policy marks the paper's approach (core.System with
+	// detectors); the rest run the bare engine under that policy.
 	policies := []engine.Policy{
+		nil,
 		engine.FixedPriority{},
 		baselines.EDF{},
 		baselines.BestEffort{},
 		baselines.RED{},
 		baselines.DOver{},
 	}
-	for _, p := range policies {
+	return runner.Map(ctx, opt.pool(), policies, func(_ context.Context, _ int, p engine.Policy) (BaselinePoint, error) {
+		if p == nil {
+			sys, err := core.NewSystem(core.Config{
+				Tasks:           FigureSet(),
+				Treatment:       detect.Stop,
+				Faults:          faults,
+				Horizon:         horizon,
+				TimerResolution: detect.DefaultTimerResolution,
+			})
+			if err != nil {
+				return BaselinePoint{}, err
+			}
+			res, err := sys.Run()
+			if err != nil {
+				return BaselinePoint{}, err
+			}
+			return point("fp+detectors(stop)", res.Report), nil
+		}
 		e, err := engine.New(engine.Config{
 			Tasks:  FigureSet(),
 			Faults: faults,
@@ -72,12 +83,10 @@ func BaselineComparison(extra vtime.Duration, horizon vtime.Duration) ([]Baselin
 			End:    vtime.Time(horizon),
 		})
 		if err != nil {
-			return nil, err
+			return BaselinePoint{}, err
 		}
-		rep := metrics.Analyze(e.Run())
-		out = append(out, point(p.Name(), rep))
-	}
-	return out, nil
+		return point(p.Name(), metrics.Analyze(e.Run())), nil
+	})
 }
 
 func point(name string, rep *metrics.Report) BaselinePoint {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,9 +16,27 @@ import (
 	"repro/internal/detect"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/taskset"
 	"repro/internal/vtime"
 )
+
+// RunOptions configures how a sweep executes its independent
+// simulations through the internal/runner worker pool. The zero value
+// uses every core. Because the runner collects results in input order
+// and every job draws from its own derived seed, the rendered tables
+// are byte-identical at any parallelism — Parallelism: 1 is the
+// serial escape hatch the cross-check tests diff against.
+type RunOptions struct {
+	// Parallelism is the worker count: 0 = GOMAXPROCS, 1 = serial.
+	Parallelism int
+	// Progress, when non-nil, observes completed-simulation counts.
+	Progress func(done, total int)
+}
+
+func (o RunOptions) pool() runner.Options {
+	return runner.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+}
 
 // Table1Set returns the paper's Table 1 system (the arbitrary-deadline
 // response-time demonstration).
@@ -303,37 +322,50 @@ type SweepPoint struct {
 // for every treatment, reporting the system success ratio and the
 // collateral failures of the lower-priority tasks.
 func FaultMagnitudeSweep(maxExtra, step vtime.Duration) ([]SweepPoint, error) {
-	var out []SweepPoint
+	return FaultMagnitudeSweepCtx(context.Background(), maxExtra, step, RunOptions{})
+}
+
+// FaultMagnitudeSweepCtx is FaultMagnitudeSweep with cancellation and
+// parallel execution: every (magnitude, treatment) point is an
+// independent simulation submitted to the runner pool.
+func FaultMagnitudeSweepCtx(ctx context.Context, maxExtra, step vtime.Duration, opt RunOptions) ([]SweepPoint, error) {
 	treatments := []detect.Treatment{
 		detect.NoDetection, detect.DetectOnly, detect.Stop,
 		detect.Equitable, detect.SystemAllowance,
 	}
+	type job struct {
+		extra vtime.Duration
+		tr    detect.Treatment
+	}
+	var jobs []job
 	for extra := vtime.Duration(0); extra <= maxExtra; extra += step {
 		for _, tr := range treatments {
-			sys, err := core.NewSystem(core.Config{
-				Tasks:           FigureSet(),
-				Treatment:       tr,
-				Faults:          fault.Plan{"tau1": fault.OverrunAt{Job: FaultyJob, Extra: extra}},
-				Horizon:         FigureHorizon,
-				TimerResolution: detect.DefaultTimerResolution,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := sys.Run()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepPoint{
-				Extra:        extra,
-				Treatment:    tr,
-				SuccessRatio: res.Report.SuccessRatio(),
-				Tau2Failed:   res.Report.Tasks["tau2"].Failed,
-				Tau3Failed:   res.Report.Tasks["tau3"].Failed,
-			})
+			jobs = append(jobs, job{extra, tr})
 		}
 	}
-	return out, nil
+	return runner.Map(ctx, opt.pool(), jobs, func(_ context.Context, _ int, j job) (SweepPoint, error) {
+		sys, err := core.NewSystem(core.Config{
+			Tasks:           FigureSet(),
+			Treatment:       j.tr,
+			Faults:          fault.Plan{"tau1": fault.OverrunAt{Job: FaultyJob, Extra: j.extra}},
+			Horizon:         FigureHorizon,
+			TimerResolution: detect.DefaultTimerResolution,
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			Extra:        j.extra,
+			Treatment:    j.tr,
+			SuccessRatio: res.Report.SuccessRatio(),
+			Tau2Failed:   res.Report.Tasks["tau2"].Failed,
+			Tau3Failed:   res.Report.Tasks["tau3"].Failed,
+		}, nil
+	})
 }
 
 // RenderSweep prints the X2 sweep as a series table.
@@ -362,32 +394,44 @@ type ResolutionPoint struct {
 // measuring how much CPU the faulty task obtained and whether the
 // quantization-induced delay caused collateral misses.
 func TimerResolutionSweep() ([]ResolutionPoint, error) {
-	var out []ResolutionPoint
+	return TimerResolutionSweepCtx(context.Background(), RunOptions{})
+}
+
+// TimerResolutionSweepCtx is TimerResolutionSweep over the runner
+// pool, one simulation per (resolution, treatment) point.
+func TimerResolutionSweepCtx(ctx context.Context, opt RunOptions) ([]ResolutionPoint, error) {
+	type job struct {
+		res vtime.Duration
+		tr  detect.Treatment
+	}
+	var jobs []job
 	for _, res := range []vtime.Duration{0, vtime.Millis(1), vtime.Millis(5), vtime.Millis(10)} {
 		for _, tr := range []detect.Treatment{detect.Stop, detect.Equitable, detect.SystemAllowance} {
-			sys, err := core.NewSystem(core.Config{
-				Tasks:           FigureSet(),
-				Treatment:       tr,
-				Faults:          fault.Plan{"tau1": fault.OverrunAt{Job: FaultyJob, Extra: FigureFaultExtra}},
-				Horizon:         FigureHorizon,
-				TimerResolution: res,
-			})
-			if err != nil {
-				return nil, err
-			}
-			r, err := sys.Run()
-			if err != nil {
-				return nil, err
-			}
-			p := ResolutionPoint{Resolution: res, Treatment: tr}
-			if j, ok := r.Report.Job("tau1", FaultyJob); ok {
-				p.Tau1Ran = j.End.Sub(j.Begin)
-			}
-			p.Collateral = r.Report.Tasks["tau2"].Failed + r.Report.Tasks["tau3"].Failed
-			out = append(out, p)
+			jobs = append(jobs, job{res, tr})
 		}
 	}
-	return out, nil
+	return runner.Map(ctx, opt.pool(), jobs, func(_ context.Context, _ int, j job) (ResolutionPoint, error) {
+		sys, err := core.NewSystem(core.Config{
+			Tasks:           FigureSet(),
+			Treatment:       j.tr,
+			Faults:          fault.Plan{"tau1": fault.OverrunAt{Job: FaultyJob, Extra: FigureFaultExtra}},
+			Horizon:         FigureHorizon,
+			TimerResolution: j.res,
+		})
+		if err != nil {
+			return ResolutionPoint{}, err
+		}
+		r, err := sys.Run()
+		if err != nil {
+			return ResolutionPoint{}, err
+		}
+		p := ResolutionPoint{Resolution: j.res, Treatment: j.tr}
+		if jb, ok := r.Report.Job("tau1", FaultyJob); ok {
+			p.Tau1Ran = jb.End.Sub(jb.Begin)
+		}
+		p.Collateral = r.Report.Tasks["tau2"].Failed + r.Report.Tasks["tau3"].Failed
+		return p, nil
+	})
 }
 
 // OverheadPoint is one sample of the X1 detector-overhead sweep.
@@ -403,41 +447,53 @@ type OverheadPoint struct {
 // higher the influence of this overrun" — by running n-task systems
 // with and without detectors and comparing dispatch switches.
 func DetectorOverheadSweep(sizes []int, seed uint64) ([]OverheadPoint, error) {
-	var out []OverheadPoint
+	return DetectorOverheadSweepCtx(context.Background(), sizes, seed, RunOptions{})
+}
+
+// DetectorOverheadSweepCtx is DetectorOverheadSweep over the runner
+// pool. Each (size, detectors) point regenerates its task set from a
+// fresh Generator seeded identically, so no job shares RNG state yet
+// both detector settings of a size see the very same system.
+func DetectorOverheadSweepCtx(ctx context.Context, sizes []int, seed uint64, opt RunOptions) ([]OverheadPoint, error) {
+	type job struct {
+		n       int
+		withDet bool
+	}
+	var jobs []job
 	for _, n := range sizes {
+		jobs = append(jobs, job{n, false}, job{n, true})
+	}
+	return runner.Map(ctx, opt.pool(), jobs, func(_ context.Context, _ int, j job) (OverheadPoint, error) {
 		gen := taskset.NewGenerator(seed)
 		gen.DeadlineFactor = 1.0
-		s, err := gen.Generate(n, 0.5)
+		s, err := gen.Generate(j.n, 0.5)
 		if err != nil {
-			return nil, err
+			return OverheadPoint{}, err
 		}
-		for _, withDet := range []bool{false, true} {
-			tr := detect.NoDetection
-			if withDet {
-				tr = detect.DetectOnly
-			}
-			sys, err := core.NewSystem(core.Config{
-				Tasks:           s,
-				Treatment:       tr,
-				Horizon:         2 * vtime.Second,
-				TimerResolution: detect.DefaultTimerResolution,
-			})
-			if err != nil {
-				return nil, err
-			}
-			r, err := sys.Run()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, OverheadPoint{
-				Tasks:      n,
-				Detectors:  withDet,
-				Switches:   r.Switches,
-				TraceBytes: len(r.Log.EncodeString()),
-			})
+		tr := detect.NoDetection
+		if j.withDet {
+			tr = detect.DetectOnly
 		}
-	}
-	return out, nil
+		sys, err := core.NewSystem(core.Config{
+			Tasks:           s,
+			Treatment:       tr,
+			Horizon:         2 * vtime.Second,
+			TimerResolution: detect.DefaultTimerResolution,
+		})
+		if err != nil {
+			return OverheadPoint{}, err
+		}
+		r, err := sys.Run()
+		if err != nil {
+			return OverheadPoint{}, err
+		}
+		return OverheadPoint{
+			Tasks:      j.n,
+			Detectors:  j.withDet,
+			Switches:   r.Switches,
+			TraceBytes: len(r.Log.EncodeString()),
+		}, nil
+	})
 }
 
 // AcceptancePoint is one sample of the X5 admission-test comparison.
@@ -453,15 +509,28 @@ type AcceptancePoint struct {
 // the hyperbolic bound and the exact response-time test at each
 // utilization level — the classical justification for implementing
 // Figure 2 rather than relying on Eq. 1.
+// Note: since the runner refactor each level draws from its own
+// derived seed (see AcceptanceSweepCtx), so the sampled task sets —
+// and hence the exact ratios — differ from artefacts generated
+// before that change; the dominance and monotonicity properties the
+// tests pin are seed-independent.
 func AcceptanceSweep(levels []float64, perLevel int, n int, seed uint64) ([]AcceptancePoint, error) {
-	var out []AcceptancePoint
-	gen := taskset.NewGenerator(seed)
-	for _, u := range levels {
+	return AcceptanceSweepCtx(context.Background(), levels, perLevel, n, seed, RunOptions{})
+}
+
+// AcceptanceSweepCtx is AcceptanceSweep over the runner pool, one job
+// per utilization level. Each level draws its task sets from its own
+// runner.DeriveSeed(seed, level) stream instead of one generator
+// shared across levels, so levels are independent of execution order
+// and the sweep renders identically at any parallelism.
+func AcceptanceSweepCtx(ctx context.Context, levels []float64, perLevel int, n int, seed uint64, opt RunOptions) ([]AcceptancePoint, error) {
+	return runner.Map(ctx, opt.pool(), levels, func(_ context.Context, i int, u float64) (AcceptancePoint, error) {
+		gen := taskset.NewGenerator(runner.DeriveSeed(seed, i))
 		var ll, hyp, exact int
 		for k := 0; k < perLevel; k++ {
 			s, err := gen.Generate(n, u)
 			if err != nil {
-				return nil, err
+				return AcceptancePoint{}, err
 			}
 			if analysis.LiuLaylandBound(s) == analysis.VerdictFeasible {
 				ll++
@@ -474,14 +543,13 @@ func AcceptanceSweep(levels []float64, perLevel int, n int, seed uint64) ([]Acce
 				exact++
 			}
 		}
-		out = append(out, AcceptancePoint{
+		return AcceptancePoint{
 			U:          u,
 			LLAccept:   float64(ll) / float64(perLevel),
 			HypAccept:  float64(hyp) / float64(perLevel),
 			ExactAccpt: float64(exact) / float64(perLevel),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderAcceptance prints the X5 series.

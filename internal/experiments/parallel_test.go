@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// TestFaultMagnitudeSweepParallelEqualsSerial is the tentpole
+// cross-check: the X2 sweep rendered from a parallel run must be
+// byte-identical to the serial (-serial escape hatch) run.
+func TestFaultMagnitudeSweepParallelEqualsSerial(t *testing.T) {
+	ctx := context.Background()
+	serial, err := FaultMagnitudeSweepCtx(ctx, ms(60), ms(5), RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 4, 16} {
+		got, err := FaultMagnitudeSweepCtx(ctx, ms(60), ms(5), RunOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if a, b := RenderSweep(serial), RenderSweep(got); a != b {
+			t.Fatalf("parallelism %d diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", par, a, b)
+		}
+	}
+}
+
+// TestAcceptanceSweepParallelEqualsSerial: per-level derived seeds
+// make the X5 sweep independent of execution order.
+func TestAcceptanceSweepParallelEqualsSerial(t *testing.T) {
+	ctx := context.Background()
+	levels := []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0}
+	serial, err := AcceptanceSweepCtx(ctx, levels, 60, 5, 11, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AcceptanceSweepCtx(ctx, levels, 60, 5, 11, RunOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderAcceptance(serial), RenderAcceptance(par); a != b {
+		t.Fatalf("parallel diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestRemainingSweepsParallelEqualSerial covers X1, X3 and X4: every
+// runner-routed experiment must be execution-order independent.
+func TestRemainingSweepsParallelEqualSerial(t *testing.T) {
+	ctx := context.Background()
+
+	ovS, err := DetectorOverheadSweepCtx(ctx, []int{2, 4, 8}, 7, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovP, err := DetectorOverheadSweepCtx(ctx, []int{2, 4, 8}, 7, RunOptions{Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ovS {
+		if ovS[i] != ovP[i] {
+			t.Fatalf("X1 point %d: serial %+v != parallel %+v", i, ovS[i], ovP[i])
+		}
+	}
+
+	trS, err := TimerResolutionSweepCtx(ctx, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trP, err := TimerResolutionSweepCtx(ctx, RunOptions{Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trS {
+		if trS[i] != trP[i] {
+			t.Fatalf("X3 point %d: serial %+v != parallel %+v", i, trS[i], trP[i])
+		}
+	}
+
+	blS, err := BaselineComparisonCtx(ctx, ms(50), 3*vtime.Second, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blP, err := BaselineComparisonCtx(ctx, ms(50), 3*vtime.Second, RunOptions{Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderBaselines(blS), RenderBaselines(blP); a != b {
+		t.Fatalf("X4 diverges:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestSweepCancellation: a pre-cancelled context aborts a sweep with
+// context.Canceled instead of running it.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FaultMagnitudeSweepCtx(ctx, ms(60), ms(5), RunOptions{Parallelism: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("X2 err = %v, want context.Canceled", err)
+	}
+	if _, err := AcceptanceSweepCtx(ctx, []float64{0.5, 0.9}, 20, 4, 11, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("X5 err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepProgressReporting: the progress hook sees the full job
+// count of a sweep exactly once each.
+func TestSweepProgressReporting(t *testing.T) {
+	var last, calls int
+	_, err := FaultMagnitudeSweepCtx(context.Background(), ms(45), ms(15), RunOptions{
+		Parallelism: 3,
+		Progress: func(done, total int) {
+			if total != 20 { // 4 magnitudes × 5 treatments
+				t.Errorf("total = %d, want 20", total)
+			}
+			last, calls = done, calls+1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 20 || calls != 20 {
+		t.Fatalf("progress last=%d calls=%d, want 20/20", last, calls)
+	}
+}

@@ -1,0 +1,212 @@
+// Package runner is the experiment-execution substrate: a
+// context-aware worker pool that shards independent simulation runs
+// across GOMAXPROCS goroutines while keeping every result observably
+// identical to a serial loop.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Results are collected in input order, so a sweep
+//     rendered from a parallel run is byte-identical to the serial
+//     render. Jobs must not share RNG state; DeriveSeed gives each
+//     job an independent SplitMix64 stream from one base seed.
+//   - Backpressure. Producers feed a bounded queue (QueueDepth slots)
+//     so a million-point sweep never materializes a million goroutines
+//     or channel entries at once.
+//   - Cancellation. The context is observed between jobs and passed to
+//     each job; cancelling stops submission promptly and returns
+//     ctx.Err() joined with whatever job errors already occurred.
+//   - Error aggregation. A failing job cancels the remaining work, but
+//     every error observed before the pool drains is reported via
+//     errors.Join — nothing is silently dropped.
+//   - Progress. An optional callback observes monotonically increasing
+//     completion counts, for -progress style CLI feedback.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options tunes a Map call. The zero value is ready to use: full
+// parallelism, a queue twice the worker count, no progress reporting.
+type Options struct {
+	// Parallelism is the worker count. <= 0 means GOMAXPROCS(0);
+	// 1 degenerates to a serial loop (the -serial escape hatch).
+	Parallelism int
+	// QueueDepth bounds the submission queue. <= 0 means twice the
+	// effective parallelism.
+	QueueDepth int
+	// Progress, when non-nil, is called after each job completes with
+	// the number of completed jobs and the total. Calls are serialized
+	// (under the pool's lock, so keep the callback fast) and done is
+	// strictly increasing, but the jobs they report may complete out
+	// of input order.
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queue(workers int) int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 2 * workers
+}
+
+// JobError wraps the failure of one job with its input index so
+// callers can tell which point of a sweep failed.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying job failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Map runs fn over every job, at most Options.Parallelism at a time,
+// and returns the results in input order. On any failure it returns a
+// nil slice and the aggregate error; the first failure cancels the
+// jobs not yet started (in-flight jobs run to completion).
+func Map[T, R any](ctx context.Context, opt Options, jobs []T, fn func(ctx context.Context, index int, job T) (R, error)) ([]R, error) {
+	total := len(jobs)
+	if total == 0 {
+		return []R{}, nil
+	}
+	workers := opt.workers()
+	if workers > total {
+		workers = total
+	}
+
+	if workers == 1 {
+		// Serial escape hatch: same semantics, no goroutines, so the
+		// parallel path can be cross-checked against a plain loop.
+		results := make([]R, total)
+		for i, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, job)
+			if err != nil {
+				return nil, &JobError{Index: i, Err: err}
+			}
+			results[i] = r
+			if opt.Progress != nil {
+				opt.Progress(i+1, total)
+			}
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type indexed struct {
+		index int
+		job   T
+	}
+	queue := make(chan indexed, opt.queue(workers))
+	results := make([]R, total)
+
+	var (
+		mu   sync.Mutex
+		errs []*JobError
+		done int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs = append(errs, &JobError{Index: i, Err: err})
+		mu.Unlock()
+		cancel()
+	}
+	complete := func() {
+		mu.Lock()
+		done++
+		if opt.Progress != nil {
+			// Under the lock so counts arrive strictly increasing;
+			// the callback must therefore be fast.
+			opt.Progress(done, total)
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for item := range queue {
+				if ctx.Err() != nil {
+					continue // drain without running once cancelled
+				}
+				r, err := fn(ctx, item.index, item.job)
+				if err != nil {
+					fail(item.index, err)
+					continue
+				}
+				results[item.index] = r
+				complete()
+			}
+		}()
+	}
+
+	// Bounded-queue producer: blocks when the queue is full, bails
+	// out as soon as the run is cancelled.
+feed:
+	for i, job := range jobs {
+		select {
+		case queue <- indexed{index: i, job: job}:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	if len(errs) > 0 {
+		// Deterministic aggregate: job order, not completion order.
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+		joined := make([]error, len(errs))
+		for i, e := range errs {
+			joined[i] = e
+		}
+		return nil, errors.Join(joined...)
+	}
+	if done != total {
+		// No job failed yet not everything ran: the caller's context
+		// was cancelled. Our own cancel only fires on job errors.
+		return nil, ctx.Err()
+	}
+	return results, nil
+}
+
+// Seeds returns n statistically independent seeds derived from base,
+// one per job, so parallel workers never share RNG state yet the whole
+// sweep stays reproducible from a single seed.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = DeriveSeed(base, i)
+	}
+	return out
+}
+
+// DeriveSeed mixes a job index into a base seed with two rounds of the
+// SplitMix64 finalizer — the same generator family taskset.Rand uses —
+// so neighbouring indices yield uncorrelated streams.
+func DeriveSeed(base uint64, index int) uint64 {
+	z := base + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

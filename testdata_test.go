@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/taskset"
+)
+
+// TestFiguresTaskFileMatchesFigureSet pins testdata/figures.tasks to
+// experiments.FigureSet(): the on-disk fixture the integration test
+// replays must describe exactly the system the figure experiments
+// construct in code.
+func TestFiguresTaskFileMatchesFigureSet(t *testing.T) {
+	f, err := os.Open("testdata/figures.tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := taskset.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := taskset.Format(parsed), taskset.Format(experiments.FigureSet()); got != want {
+		t.Fatalf("testdata/figures.tasks drifted from experiments.FigureSet():\n--- file ---\n%s--- code ---\n%s", got, want)
+	}
+}
+
+// TestTable2TaskFileMatchesTable2Set pins testdata/table2.tasks the
+// same way.
+func TestTable2TaskFileMatchesTable2Set(t *testing.T) {
+	f, err := os.Open("testdata/table2.tasks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := taskset.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := taskset.Format(parsed), taskset.Format(experiments.Table2Set()); got != want {
+		t.Fatalf("testdata/table2.tasks drifted from experiments.Table2Set():\n--- file ---\n%s--- code ---\n%s", got, want)
+	}
+}
