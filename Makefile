@@ -2,11 +2,14 @@
 # locally: `make ci`.
 
 GO ?= go
+# bash for pipefail in bench-json.
+SHELL := /bin/bash
 
-.PHONY: build test race bench fmt vet fmt-check ci
+.PHONY: build test race bench bench-json fmt vet fmt-check ci
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -16,6 +19,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+bench-json:
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' ./... | tee bench.txt
 
 fmt:
 	gofmt -w .

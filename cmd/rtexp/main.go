@@ -1,9 +1,12 @@
 // Command rtexp regenerates every table and figure of the paper's
 // evaluation, plus the extension sweeps catalogued in DESIGN.md §4.
+// The artefacts come from the sim experiment registry, so listing and
+// running them needs no per-experiment wiring here.
 //
 // Usage:
 //
 //	rtexp                 # run everything
+//	rtexp -list           # enumerate the experiment registry and exit
 //	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x4|x5|x9
 //	rtexp -svg charts/    # additionally write one SVG per figure
 //	rtexp -parallel 8     # shard sweep simulations over 8 workers
@@ -22,190 +25,122 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"strings"
 
-	"repro/internal/chart"
 	"repro/internal/experiments"
-	"repro/internal/metrics"
-	"repro/internal/vtime"
+	"repro/sim"
 )
 
 func main() {
-	var (
-		which    = flag.String("exp", "all", "artefact to regenerate")
-		svgDir   = flag.String("svg", "", "directory to write per-figure SVG charts")
-		parallel = flag.Int("parallel", 0, "worker count for sweep simulations (0 = all cores)")
-		serial   = flag.Bool("serial", false, "force serial execution (equivalent to -parallel 1)")
-		progress = flag.Bool("progress", false, "report sweep progress on stderr")
-		jsonOut  = flag.Bool("json", false, "emit artefacts as JSON lines instead of tables")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	// run executes one artefact: fn returns the structured data (for
-	// -json) and the rendered text (for humans).
-	run := func(name string, fn func(opt experiments.RunOptions) (any, string, error)) {
-		if *which != "all" && *which != name {
-			return
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		which    = fs.String("exp", "all", "artefact to regenerate")
+		list     = fs.Bool("list", false, "list the experiment registry (name, description) and exit")
+		svgDir   = fs.String("svg", "", "directory to write per-figure SVG charts")
+		parallel = fs.Int("parallel", 0, "worker count for sweep simulations (0 = all cores)")
+		serial   = fs.Bool("serial", false, "force serial execution (equivalent to -parallel 1)")
+		progress = fs.Bool("progress", false, "report sweep progress on stderr")
+		jsonOut  = fs.Bool("json", false, "emit artefacts as JSON lines instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
-		opt := experiments.RunOptions{Parallelism: *parallel}
+		return 2
+	}
+
+	if *list {
+		for _, e := range sim.Experiments() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.Name(), e.Description())
+		}
+		return 0
+	}
+	if *which != "all" {
+		if _, ok := sim.LookupExperiment(*which); !ok {
+			fmt.Fprintf(stderr, "rtexp: unknown experiment %q (see rtexp -list)\n", *which)
+			return 2
+		}
+	}
+
+	for _, e := range sim.Experiments() {
+		if *which != "all" && *which != e.Name() {
+			continue
+		}
+		opt := sim.RunOptions{Parallelism: *parallel}
 		if *serial {
 			opt.Parallelism = 1
 		}
 		if *progress {
+			name := e.Name()
 			opt.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", name, done, total)
+				fmt.Fprintf(stderr, "\r%s: %d/%d", name, done, total)
 				if done == total {
-					fmt.Fprintln(os.Stderr)
+					fmt.Fprintln(stderr)
 				}
 			}
 		}
-		data, text, err := fn(opt)
+		res, err := runOne(ctx, e, *svgDir, opt)
 		if err != nil {
 			if *progress {
 				// The progress line ends in \r, not \n; leave it
 				// intact instead of splicing the error over it.
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
-			fmt.Fprintf(os.Stderr, "rtexp: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtexp: %s: %v\n", e.Name(), err)
+			return 1
 		}
 		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			if err := enc.Encode(struct {
 				Artefact string `json:"artefact"`
 				Data     any    `json:"data"`
-			}{name, data}); err != nil {
-				fmt.Fprintf(os.Stderr, "rtexp: %s: encode: %v\n", name, err)
-				os.Exit(1)
+			}{e.Name(), res.Data}); err != nil {
+				fmt.Fprintf(stderr, "rtexp: %s: encode: %v\n", e.Name(), err)
+				return 1
 			}
 		} else {
-			fmt.Println(text)
+			fmt.Fprintln(stdout, res.Text)
 		}
 	}
-
-	run("table1", func(experiments.RunOptions) (any, string, error) {
-		rows, err := experiments.Table1()
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.RenderTable1(rows), nil
-	})
-	run("table2", func(experiments.RunOptions) (any, string, error) {
-		rows, err := experiments.Table2()
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.RenderTable2(rows), nil
-	})
-	run("table3", func(experiments.RunOptions) (any, string, error) {
-		rows, err := experiments.Table3()
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.RenderTable3(rows), nil
-	})
-	for _, fig := range []experiments.Figure{
-		experiments.Figure3, experiments.Figure4, experiments.Figure5,
-		experiments.Figure6, experiments.Figure7,
-	} {
-		fig := fig
-		run(fmt.Sprintf("fig%d", int(fig)), func(experiments.RunOptions) (any, string, error) {
-			return runFigure(fig, *svgDir)
-		})
-	}
-	run("x1", func(opt experiments.RunOptions) (any, string, error) {
-		points, err := experiments.DetectorOverheadSweepCtx(ctx, []int{2, 4, 8, 16}, 7, opt)
-		if err != nil {
-			return nil, "", err
-		}
-		text := "X1 — detector overhead vs task count\n"
-		text += fmt.Sprintf("%6s %10s %10s %12s\n", "tasks", "detectors", "switches", "traceBytes")
-		for _, p := range points {
-			text += fmt.Sprintf("%6d %10v %10d %12d\n", p.Tasks, p.Detectors, p.Switches, p.TraceBytes)
-		}
-		return points, text, nil
-	})
-	run("x2", func(opt experiments.RunOptions) (any, string, error) {
-		points, err := experiments.FaultMagnitudeSweepCtx(ctx, vtime.Millis(60), vtime.Millis(5), opt)
-		if err != nil {
-			return nil, "", err
-		}
-		return points, experiments.RenderSweep(points), nil
-	})
-	run("x3", func(opt experiments.RunOptions) (any, string, error) {
-		points, err := experiments.TimerResolutionSweepCtx(ctx, opt)
-		if err != nil {
-			return nil, "", err
-		}
-		text := "X3 — timer resolution sensitivity\n"
-		text += fmt.Sprintf("%12s %-20s %10s %10s\n", "resolution", "treatment", "tau1Ran", "collateral")
-		for _, p := range points {
-			text += fmt.Sprintf("%12v %-20s %10v %10d\n", p.Resolution, p.Treatment, p.Tau1Ran, p.Collateral)
-		}
-		return points, text, nil
-	})
-	run("x9", func(experiments.RunOptions) (any, string, error) {
-		out, err := experiments.BlockingSweep()
-		if err != nil {
-			return nil, "", err
-		}
-		return out, out, nil
-	})
-	run("x5", func(opt experiments.RunOptions) (any, string, error) {
-		points, err := experiments.AcceptanceSweepCtx(ctx,
-			[]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, 200, 5, 11, opt)
-		if err != nil {
-			return nil, "", err
-		}
-		return points, experiments.RenderAcceptance(points), nil
-	})
-	run("x4", func(opt experiments.RunOptions) (any, string, error) {
-		points, err := experiments.BaselineComparisonCtx(ctx, vtime.Millis(50), 6*vtime.Second, opt)
-		if err != nil {
-			return nil, "", err
-		}
-		return points, experiments.RenderBaselines(points), nil
-	})
+	return 0
 }
 
-func runFigure(fig experiments.Figure, svgDir string) (any, string, error) {
-	res, err := experiments.RunFigure(fig)
-	if err != nil {
-		return nil, "", err
-	}
-	outcome := experiments.Outcome(fig, res)
-	text := experiments.RenderOutcome(outcome) + "\n"
-	from, to := experiments.FigureWindow()
-	opts := chart.Options{
-		From: from, To: to, CellMS: 2,
-		Tasks: []string{"tau1", "tau2", "tau3"},
-		WCRTMarks: map[string]vtime.Duration{
-			"tau1": res.Allowance.WCRT[0],
-			"tau2": res.Allowance.WCRT[1],
-			"tau3": res.Allowance.WCRT[2],
-		},
-	}
-	deadlines := map[string]vtime.Duration{
-		"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120),
-	}
-	text += chart.ASCII(res.Log, opts, deadlines) + "\n"
-	text += metrics.Analyze(res.Log).Render()
+// runOne executes one registry entry. Figures honour -svg by running
+// the figure artefact directly with the output directory; the text is
+// identical to the registry entry's, plus the "wrote …" line.
+func runOne(ctx context.Context, e sim.Experiment, svgDir string, opt sim.RunOptions) (sim.Result, error) {
 	if svgDir != "" {
-		if err := os.MkdirAll(svgDir, 0o755); err != nil {
-			return nil, "", err
+		if fig, ok := figureOf(e.Name()); ok {
+			outcome, text, err := experiments.FigureArtefact(fig, svgDir)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Result{Data: outcome, Text: text}, nil
 		}
-		path := filepath.Join(svgDir, fmt.Sprintf("figure%d.svg", int(fig)))
-		if err := os.WriteFile(path, []byte(chart.SVG(res.Log, opts, deadlines)), 0o644); err != nil {
-			return nil, "", err
-		}
-		text += fmt.Sprintf("wrote %s\n", path)
 	}
-	return outcome, text, nil
+	return e.Run(ctx, opt)
+}
+
+func figureOf(name string) (experiments.Figure, bool) {
+	if !strings.HasPrefix(name, "fig") {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "fig%d", &n); err != nil {
+		return 0, false
+	}
+	return experiments.Figure(n), true
 }

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/allowance"
@@ -21,45 +23,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtfeas", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tasksPath = flag.String("tasks", "", "task description file (required)")
-		granMS    = flag.Int64("granularity", 1, "allowance search granularity in ms")
+		tasksPath = fs.String("tasks", "", "task description file (required)")
+		granMS    = fs.Int64("granularity", 1, "allowance search granularity in ms")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *tasksPath == "" {
-		fmt.Fprintln(os.Stderr, "rtfeas: -tasks is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rtfeas: -tasks is required")
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rtfeas:", err)
+		return 1
 	}
 	f, err := os.Open(*tasksPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	set, err := taskset.Parse(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	rep, err := analysis.Feasible(set)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(rep.Render(set))
+	fmt.Fprint(stdout, rep.Render(set))
 	if !rep.Feasible {
-		os.Exit(1)
+		return 1
 	}
 	tab, err := allowance.Compute(set, vtime.Millis(*granMS))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("\nequitable allowance A = %v per task\n", tab.Equitable)
-	fmt.Printf("%-8s %14s %18s %12s\n", "task", "WCRT", "WCRT+allowances", "maxOverrun")
+	fmt.Fprintf(stdout, "\nequitable allowance A = %v per task\n", tab.Equitable)
+	fmt.Fprintf(stdout, "%-8s %14s %18s %12s\n", "task", "WCRT", "WCRT+allowances", "maxOverrun")
 	for i, t := range set.Tasks {
-		fmt.Printf("%-8s %14v %18v %12v\n", t.Name, tab.WCRT[i], tab.EquitableWCRT[i], tab.MaxOverrun[i])
+		fmt.Fprintf(stdout, "%-8s %14v %18v %12v\n", t.Name, tab.WCRT[i], tab.EquitableWCRT[i], tab.MaxOverrun[i])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rtfeas:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,134 +1,154 @@
 // Command rtrun is the paper's first measurement tool: it parses a
-// file which describes the tasks in the system, builds and runs the
-// tasks automatically, and writes the collected key dates to a log
-// file that cmd/rtchart can turn into a time-series chart.
+// description of the system, builds and runs the tasks automatically,
+// and writes the collected key dates to a log file that cmd/rtchart
+// can turn into a time-series chart.
 //
 // Usage:
 //
 //	rtrun -tasks system.tasks [-treatment stop] [-horizon 3000]
 //	      [-fault tau1:5:40] [-resolution 10] [-o run.log]
+//	rtrun -scenario scenario.json [-o run.log]
 //
 // The -fault flag injects a cost overrun (task:job:extraMS) like the
-// paper's §6 voluntary overrun on the priority task.
+// paper's §6 voluntary overrun on the priority task. The -scenario
+// flag instead loads a complete declarative scenario (tasks, faults,
+// policy, treatment, servers, horizon, seed — see repro/sim/scenario)
+// from a JSON file, so arbitrary workloads run with zero code
+// changes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/detect"
-	"repro/internal/fault"
-	"repro/internal/taskset"
 	"repro/internal/vtime"
+	"repro/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tasksPath  = flag.String("tasks", "", "task description file (required)")
-		treatment  = flag.String("treatment", "none", "fault treatment: none|detect|stop|equitable|system")
-		horizonMS  = flag.Int64("horizon", 3000, "simulated horizon in milliseconds")
-		faultSpec  = flag.String("fault", "", "inject a cost overrun: task:job:extraMS (repeatable, comma separated)")
-		resolution = flag.Int64("resolution", 10, "detector timer resolution in ms (0 = exact)")
-		outPath    = flag.String("o", "", "log output file (default stdout)")
-		summary    = flag.Bool("summary", true, "print the per-task summary to stderr")
+		tasksPath  = fs.String("tasks", "", "task description file (this or -scenario is required)")
+		scenPath   = fs.String("scenario", "", "declarative scenario JSON file")
+		treatment  = fs.String("treatment", "none", "fault treatment: none|detect|stop|equitable|system")
+		horizonMS  = fs.Int64("horizon", 3000, "simulated horizon in milliseconds")
+		faultSpec  = fs.String("fault", "", "inject a cost overrun: task:job:extraMS (repeatable, comma separated)")
+		resolution = fs.Int64("resolution", 10, "detector timer resolution in ms (0 = exact)")
+		outPath    = fs.String("o", "", "log output file (default stdout)")
+		summary    = fs.Bool("summary", true, "print the per-task summary to stderr")
 	)
-	flag.Parse()
-	if *tasksPath == "" {
-		fmt.Fprintln(os.Stderr, "rtrun: -tasks is required")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	f, err := os.Open(*tasksPath)
-	if err != nil {
-		fatal(err)
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rtrun:", err)
+		return 1
 	}
-	set, err := taskset.Parse(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	if (*tasksPath == "") == (*scenPath == "") {
+		fmt.Fprintln(stderr, "rtrun: exactly one of -tasks and -scenario is required")
+		fs.Usage()
+		return 2
 	}
-	tr, err := parseTreatment(*treatment)
-	if err != nil {
-		fatal(err)
+	if *scenPath != "" {
+		// The scenario file carries the whole run description; a
+		// legacy flag set alongside it would be silently ignored, so
+		// reject the combination outright.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "treatment", "horizon", "fault", "resolution":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "rtrun: -%s conflicts with -scenario (the scenario file defines the run)\n", conflict)
+			return 2
+		}
 	}
-	plan, err := parseFaults(*faultSpec)
-	if err != nil {
-		fatal(err)
+	var (
+		sys *sim.System
+		err error
+	)
+	if *scenPath != "" {
+		sys, err = sim.Load(*scenPath)
+	} else {
+		faults, perr := parseFaults(*faultSpec)
+		if perr != nil {
+			return fail(perr)
+		}
+		sys, err = sim.New(
+			sim.WithTaskFile(*tasksPath),
+			sim.WithTreatment(*treatment),
+			sim.WithHorizon(vtime.Millis(*horizonMS)),
+			sim.WithTimerResolution(vtime.Millis(*resolution)),
+			sim.WithFaults(faults...),
+		)
 	}
-	sys, err := core.NewSystem(core.Config{
-		Tasks:           set,
-		Treatment:       tr,
-		Faults:          plan,
-		Horizon:         vtime.Millis(*horizonMS),
-		TimerResolution: vtime.Millis(*resolution),
-	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	res, err := sys.Run()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	out := os.Stdout
+	out := stdout
 	if *outPath != "" {
-		out, err = os.Create(*outPath)
+		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer out.Close()
+		defer f.Close()
+		out = f
 	}
-	if err := res.Log.Encode(out); err != nil {
-		fatal(err)
+	if err := res.WriteLog(out); err != nil {
+		return fail(err)
 	}
 	if *summary {
-		fmt.Fprint(os.Stderr, res.Report.Render())
+		fmt.Fprint(stderr, res.Summary())
 	}
+	return 0
 }
 
-func parseTreatment(s string) (detect.Treatment, error) {
-	switch s {
-	case "none":
-		return detect.NoDetection, nil
-	case "detect":
-		return detect.DetectOnly, nil
-	case "stop":
-		return detect.Stop, nil
-	case "equitable":
-		return detect.Equitable, nil
-	case "system":
-		return detect.SystemAllowance, nil
-	}
-	return 0, fmt.Errorf("rtrun: unknown treatment %q", s)
-}
-
-func parseFaults(spec string) (fault.Plan, error) {
+// parseFaults turns the -fault task:job:extraMS entries into scenario
+// fault specs, in order. Several entries for one task compose (via
+// fault.Chain), exactly as the equivalent scenario JSON does.
+func parseFaults(spec string) ([]sim.Fault, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	plan := fault.Plan{}
+	var faults []sim.Fault
 	for _, part := range strings.Split(spec, ",") {
 		fields := strings.Split(part, ":")
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("rtrun: fault spec %q is not task:job:extraMS", part)
+			return nil, fmt.Errorf("fault spec %q is not task:job:extraMS", part)
 		}
 		job, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("rtrun: fault job: %v", err)
+			return nil, fmt.Errorf("fault job: %v", err)
 		}
 		extra, err := strconv.ParseInt(fields[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("rtrun: fault extra: %v", err)
+			return nil, fmt.Errorf("fault extra: %v", err)
 		}
-		plan[fields[0]] = fault.OverrunAt{Job: job, Extra: vtime.Millis(extra)}
+		faults = append(faults, sim.Fault{
+			Task:  fields[0],
+			Kind:  sim.FaultOverrunAt,
+			Job:   job,
+			Extra: sim.Duration(vtime.Millis(extra)),
+		})
 	}
-	return plan, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rtrun:", err)
-	os.Exit(1)
+	return faults, nil
 }

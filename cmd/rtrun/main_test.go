@@ -1,43 +1,104 @@
 package main
 
 import (
+	"bytes"
+	"path/filepath"
+	"strings"
 	"testing"
 
-	"repro/internal/detect"
-	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/vtime"
+	"repro/sim"
 )
 
-func TestParseTreatment(t *testing.T) {
-	want := map[string]detect.Treatment{
-		"none":      detect.NoDetection,
-		"detect":    detect.DetectOnly,
-		"stop":      detect.Stop,
-		"equitable": detect.Equitable,
-		"system":    detect.SystemAllowance,
+// TestScenarioRunEndToEnd drives rtrun -scenario on a committed spec:
+// the log on stdout must decode, and the summary on stderr must
+// mention every task.
+func TestScenarioRunEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	if code := run([]string{"-scenario", scen}, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtrun -scenario exited %d: %s", code, stderr.String())
 	}
-	for in, tr := range want {
-		got, err := parseTreatment(in)
-		if err != nil || got != tr {
-			t.Errorf("parseTreatment(%q) = %v, %v", in, got, err)
+	log, err := trace.Decode(&stdout)
+	if err != nil {
+		t.Fatalf("stdout is not a decodable trace log: %v", err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("empty trace log")
+	}
+	for _, task := range []string{"tau1", "tau2", "tau3"} {
+		if len(log.TaskEvents(task)) == 0 {
+			t.Errorf("no events for %s", task)
+		}
+		if !bytes.Contains(stderr.Bytes(), []byte(task)) {
+			t.Errorf("summary missing %s:\n%s", task, stderr.String())
 		}
 	}
-	if _, err := parseTreatment("explode"); err == nil {
-		t.Error("unknown treatment must error")
+}
+
+// TestScenarioMatchesLegacyFlags: the same run expressed as -tasks
+// plus flags and as a scenario file emits the identical log.
+func TestScenarioMatchesLegacyFlags(t *testing.T) {
+	var legacyOut, legacyErr, scenOut, scenErr bytes.Buffer
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	if code := run([]string{
+		"-tasks", tasks, "-treatment", "stop", "-horizon", "1500",
+		"-fault", "tau1:5:40", "-resolution", "10",
+	}, &legacyOut, &legacyErr); code != 0 {
+		t.Fatalf("legacy run exited %d: %s", code, legacyErr.String())
+	}
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	if code := run([]string{"-scenario", scen}, &scenOut, &scenErr); code != 0 {
+		t.Fatalf("scenario run exited %d: %s", code, scenErr.String())
+	}
+	if legacyOut.String() != scenOut.String() {
+		t.Error("scenario log differs from the equivalent -tasks run")
+	}
+}
+
+func TestExclusiveFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no input exited %d, want 2", code)
+	}
+	if code := run([]string{"-tasks", "a", "-scenario", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("both inputs exited %d, want 2", code)
+	}
+	// Legacy run-shape flags would be silently ignored next to
+	// -scenario; they must be rejected instead.
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	for _, extra := range [][]string{
+		{"-treatment", "none"},
+		{"-horizon", "9000"},
+		{"-fault", "tau1:5:40"},
+		{"-resolution", "0"},
+	} {
+		stderr.Reset()
+		args := append([]string{"-scenario", scen}, extra...)
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr.String(), extra[0][1:]) {
+			t.Errorf("error must name the conflicting flag %s: %s", extra[0], stderr.String())
+		}
 	}
 }
 
 func TestParseFaults(t *testing.T) {
-	plan, err := parseFaults("tau1:5:40,tau2:0:10")
+	faults, err := parseFaults("tau1:5:40,tau2:0:10")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, ok := plan["tau1"].(fault.OverrunAt)
-	if !ok || m.Job != 5 || m.Extra != vtime.Millis(40) {
-		t.Errorf("tau1 model = %+v", plan["tau1"])
+	if len(faults) != 2 {
+		t.Fatalf("faults = %+v, want 2 entries", faults)
 	}
-	if _, ok := plan["tau2"]; !ok {
-		t.Error("tau2 model missing")
+	f := faults[0]
+	if f.Task != "tau1" || f.Kind != sim.FaultOverrunAt || f.Job != 5 || f.Extra.D() != vtime.Millis(40) {
+		t.Errorf("tau1 fault = %+v", f)
+	}
+	if faults[1].Task != "tau2" {
+		t.Errorf("tau2 fault = %+v", faults[1])
 	}
 	empty, err := parseFaults("")
 	if err != nil || empty != nil {
@@ -47,5 +108,42 @@ func TestParseFaults(t *testing.T) {
 		if _, err := parseFaults(bad); err == nil {
 			t.Errorf("spec %q must error", bad)
 		}
+	}
+}
+
+// TestRepeatedFaultsCompose: two -fault entries on one task must both
+// take effect (chained), matching the scenario-JSON semantics.
+func TestRepeatedFaultsCompose(t *testing.T) {
+	faults, err := parseFaults("tau1:2:10,tau1:5:40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(
+		sim.WithTaskFile(filepath.Join("..", "..", "testdata", "figures.tasks")),
+		sim.WithHorizon(vtime.Millis(1500)),
+		sim.WithFaults(faults...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tau1 jobs release every 200 ms with cost 29, deadline 70: job 2
+	// (overrun 10 → response 39ms) stays feasible but slower, job 5
+	// (overrun 40 → 69ms) nearly exhausts the deadline.
+	for q, want := range map[int64]vtime.Duration{2: vtime.Millis(39), 5: vtime.Millis(69)} {
+		j, ok := res.Report.Job("tau1", q)
+		if !ok || j.Response() != want {
+			t.Errorf("tau1 job %d response = %v (ok=%v), want %v", q, j.Response(), ok, want)
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("rtrun -h exited %d, want 0", code)
 	}
 }

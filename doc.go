@@ -16,6 +16,10 @@
 //
 // Layout:
 //
+//   - sim — the public facade: functional-options builder, the
+//     declarative Scenario spec, and the policy and experiment
+//     registries (start here)
+//   - sim/scenario — the JSON scenario codec (canonical, strict)
 //   - internal/analysis — admission control (paper Section 2)
 //   - internal/allowance — tolerance factors (Section 4.2/4.3)
 //   - internal/detect — detectors and treatments (Sections 3–4)
@@ -25,7 +29,24 @@
 //   - internal/experiments — one constructor per table and figure
 //   - internal/runner — the parallel experiment-execution substrate
 //   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp — tools
-//   - examples/ — five runnable walkthroughs
+//   - examples/ — runnable walkthroughs (examples/scenario shows
+//     the sim facade end to end)
+//
+// # Public simulation API
+//
+// Package repro/sim is the supported entry point for building
+// workloads. A simulation is described either with functional
+// options (sim.New(sim.WithTasks(...), sim.WithPolicy("edf"), ...))
+// or as a declarative, JSON-round-trippable sim.Scenario loaded from
+// disk (sim.Load); both compile into the same internal core.System.
+// Two name→factory registries make the description fully
+// declarative: scheduling policies (fixed-priority plus the overload
+// baselines; see sim.Policies) and experiments (every paper table,
+// figure and extension sweep; see sim.Experiments). cmd/rtrun
+// -scenario runs a spec file end to end, and cmd/rtexp -list
+// enumerates the experiment registry. The direct non-Ctx sweep
+// entry points of internal/experiments are deprecated in favour of
+// their *Ctx forms and the registry entries.
 //
 // # Parallel experiment execution
 //

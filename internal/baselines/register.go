@@ -1,0 +1,13 @@
+package baselines
+
+import "repro/internal/engine"
+
+// The overload baselines join the engine's policy registry so that
+// declarative scenarios can select them by name (X4's comparison
+// columns: edf, best-effort, red, d-over).
+func init() {
+	engine.RegisterPolicy(EDF{}.Name(), func() engine.Policy { return EDF{} })
+	engine.RegisterPolicy(BestEffort{}.Name(), func() engine.Policy { return BestEffort{} })
+	engine.RegisterPolicy(RED{}.Name(), func() engine.Policy { return RED{} })
+	engine.RegisterPolicy(DOver{}.Name(), func() engine.Policy { return DOver{} })
+}

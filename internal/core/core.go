@@ -43,6 +43,11 @@ type Config struct {
 	Seed uint64
 	// ContextSwitch charges a dispatch-switch overhead.
 	ContextSwitch vtime.Duration
+	// Policy orders ready jobs; nil means the paper's preemptive
+	// fixed-priority scheduler. Non-default policies only combine
+	// with NoDetection: the detectors' WCRT arming presupposes
+	// fixed-priority response-time analysis.
+	Policy engine.Policy
 }
 
 // Result is the outcome of a run.
@@ -80,6 +85,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("core: horizon must be positive")
 	}
+	if cfg.Policy != nil && cfg.Policy.Name() != (engine.FixedPriority{}).Name() &&
+		cfg.Treatment != detect.NoDetection {
+		return nil, fmt.Errorf("core: policy %q cannot combine with treatment %v: detectors presuppose fixed-priority analysis", cfg.Policy.Name(), cfg.Treatment)
+	}
 	adm, err := analysis.Feasible(cfg.Tasks)
 	if err != nil {
 		return nil, err
@@ -114,29 +123,7 @@ func (s *System) Supervisor() *detect.Supervisor { return s.sup }
 // Run simulates the system to the horizon and returns the result.
 // Run may be called once per System; build a fresh System to re-run.
 func (s *System) Run() (*Result, error) {
-	eng, err := engine.New(engine.Config{
-		Tasks:         s.cfg.Tasks,
-		Faults:        s.cfg.Faults,
-		End:           vtime.Time(s.cfg.Horizon),
-		StopPoll:      s.cfg.StopPoll,
-		StopJitterMax: s.cfg.StopJitterMax,
-		Seed:          s.cfg.Seed,
-		ContextSwitch: s.cfg.ContextSwitch,
-		Hooks:         s.sup.Hooks(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.sup.Attach(eng)
-	log := eng.Run()
-	return &Result{
-		Log:        log,
-		Report:     metrics.Analyze(log),
-		Admission:  s.Admission(),
-		Allowance:  s.sup.Table(),
-		Detections: s.sup.Detections(),
-		Switches:   eng.Switches(),
-	}, nil
+	return s.RunWith(nil)
 }
 
 // RunWith exposes the engine to a caller-driven scenario (dynamic
@@ -147,6 +134,7 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		Tasks:         s.cfg.Tasks,
 		Faults:        s.cfg.Faults,
 		End:           vtime.Time(s.cfg.Horizon),
+		Policy:        s.cfg.Policy,
 		StopPoll:      s.cfg.StopPoll,
 		StopJitterMax: s.cfg.StopJitterMax,
 		Seed:          s.cfg.Seed,

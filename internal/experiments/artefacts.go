@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// This file renders the artefacts exactly as cmd/rtexp prints them,
+// so the experiment registry (repro/sim) and the CLI share one
+// byte-identical text form per table, figure and sweep.
+
+// FigureArtefact runs the figure's scenario and renders the complete
+// artefact: the outcome next to the paper's statement, the ASCII
+// execution chart over the published window, and the per-task
+// metrics. With a non-empty svgDir it additionally writes
+// figure<N>.svg there and appends the path to the text.
+func FigureArtefact(f Figure, svgDir string) (FigureOutcome, string, error) {
+	res, err := RunFigure(f)
+	if err != nil {
+		return FigureOutcome{}, "", err
+	}
+	outcome := Outcome(f, res)
+	text := RenderOutcome(outcome) + "\n"
+	opts, deadlines := figureChart(res)
+	text += chart.ASCII(res.Log, opts, deadlines) + "\n"
+	text += metrics.Analyze(res.Log).Render()
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return FigureOutcome{}, "", err
+		}
+		path := filepath.Join(svgDir, fmt.Sprintf("figure%d.svg", int(f)))
+		if err := os.WriteFile(path, []byte(chart.SVG(res.Log, opts, deadlines)), 0o644); err != nil {
+			return FigureOutcome{}, "", err
+		}
+		text += fmt.Sprintf("wrote %s\n", path)
+	}
+	return outcome, text, nil
+}
+
+func figureChart(res *core.Result) (chart.Options, map[string]vtime.Duration) {
+	from, to := FigureWindow()
+	opts := chart.Options{
+		From: from, To: to, CellMS: 2,
+		Tasks: []string{"tau1", "tau2", "tau3"},
+		WCRTMarks: map[string]vtime.Duration{
+			"tau1": res.Allowance.WCRT[0],
+			"tau2": res.Allowance.WCRT[1],
+			"tau3": res.Allowance.WCRT[2],
+		},
+	}
+	deadlines := map[string]vtime.Duration{
+		"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120),
+	}
+	return opts, deadlines
+}
+
+// RenderOverhead prints the X1 detector-overhead series.
+func RenderOverhead(points []OverheadPoint) string {
+	var b strings.Builder
+	b.WriteString("X1 — detector overhead vs task count\n")
+	fmt.Fprintf(&b, "%6s %10s %10s %12s\n", "tasks", "detectors", "switches", "traceBytes")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d %10v %10d %12d\n", p.Tasks, p.Detectors, p.Switches, p.TraceBytes)
+	}
+	return b.String()
+}
+
+// RenderResolution prints the X3 timer-resolution series.
+func RenderResolution(points []ResolutionPoint) string {
+	var b strings.Builder
+	b.WriteString("X3 — timer resolution sensitivity\n")
+	fmt.Fprintf(&b, "%12s %-20s %10s %10s\n", "resolution", "treatment", "tau1Ran", "collateral")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12v %-20s %10v %10d\n", p.Resolution, p.Treatment, p.Tau1Ran, p.Collateral)
+	}
+	return b.String()
+}

@@ -37,6 +37,10 @@ type BaselinePoint struct {
 // paper's positioning — prevention through admission control plus
 // cheap detectors, rather than generic overload handling — shows up
 // as the FPP+Stop row protecting τ2/τ3 completely.
+//
+// Deprecated: use BaselineComparisonCtx (or the "x4" entry of the
+// repro/sim experiment registry), which adds cancellation and
+// parallel execution.
 func BaselineComparison(extra vtime.Duration, horizon vtime.Duration) ([]BaselinePoint, error) {
 	return BaselineComparisonCtx(context.Background(), extra, horizon, RunOptions{})
 }

@@ -321,6 +321,10 @@ type SweepPoint struct {
 // sweeps the injected overrun of τ1's job 5 from 0 to max in steps,
 // for every treatment, reporting the system success ratio and the
 // collateral failures of the lower-priority tasks.
+//
+// Deprecated: use FaultMagnitudeSweepCtx (or the "x2" entry of the
+// repro/sim experiment registry), which adds cancellation and
+// parallel execution.
 func FaultMagnitudeSweep(maxExtra, step vtime.Duration) ([]SweepPoint, error) {
 	return FaultMagnitudeSweepCtx(context.Background(), maxExtra, step, RunOptions{})
 }
@@ -393,6 +397,10 @@ type ResolutionPoint struct {
 // under detector quantizations of 0 (exact), 1, 5 and 10 ms,
 // measuring how much CPU the faulty task obtained and whether the
 // quantization-induced delay caused collateral misses.
+//
+// Deprecated: use TimerResolutionSweepCtx (or the "x3" entry of the
+// repro/sim experiment registry), which adds cancellation and
+// parallel execution.
 func TimerResolutionSweep() ([]ResolutionPoint, error) {
 	return TimerResolutionSweepCtx(context.Background(), RunOptions{})
 }
@@ -446,6 +454,10 @@ type OverheadPoint struct {
 // remark — "the more tasks in the system, the more sensors, hence the
 // higher the influence of this overrun" — by running n-task systems
 // with and without detectors and comparing dispatch switches.
+//
+// Deprecated: use DetectorOverheadSweepCtx (or the "x1" entry of the
+// repro/sim experiment registry), which adds cancellation and
+// parallel execution.
 func DetectorOverheadSweep(sizes []int, seed uint64) ([]OverheadPoint, error) {
 	return DetectorOverheadSweepCtx(context.Background(), sizes, seed, RunOptions{})
 }
@@ -514,6 +526,10 @@ type AcceptancePoint struct {
 // and hence the exact ratios — differ from artefacts generated
 // before that change; the dominance and monotonicity properties the
 // tests pin are seed-independent.
+//
+// Deprecated: use AcceptanceSweepCtx (or the "x5" entry of the
+// repro/sim experiment registry), which adds cancellation and
+// parallel execution.
 func AcceptanceSweep(levels []float64, perLevel int, n int, seed uint64) ([]AcceptancePoint, error) {
 	return AcceptanceSweepCtx(context.Background(), levels, perLevel, n, seed, RunOptions{})
 }

@@ -1,0 +1,191 @@
+// Package sim is the public facade of the reproduction: it exposes
+// the simulator (admission control, detectors, treatments, scheduling
+// policies, fault injection, aperiodic servers) through two
+// equivalent front doors —
+//
+//   - a functional-options builder:
+//
+//     s, err := sim.New(
+//     sim.WithTasks(tasks...),
+//     sim.WithTreatment("stop"),
+//     sim.WithFaults(sim.Fault{Task: "tau1", Kind: sim.FaultOverrunAt, Job: 5, Extra: sim.Millis(40)}),
+//     sim.WithHorizon(vtime.Millis(1500)),
+//     )
+//     res, err := s.Run()
+//
+//   - a declarative, JSON-round-trippable Scenario spec (package
+//     sim/scenario) loaded from disk:
+//
+//     s, err := sim.Load("testdata/scenarios/figure5.json")
+//     res, err := s.Run()
+//
+// Both compile into the same internal core.System, so a scenario file
+// and the equivalent builder calls produce byte-identical traces.
+//
+// The package also hosts two name→factory registries: scheduling
+// policies (fixed-priority plus the overload baselines edf,
+// best-effort, red, d-over — see Policies) and experiments (the
+// paper's tables, figures and extension sweeps — see Experiments),
+// so new workloads and artefacts need zero code changes in the tools.
+package sim
+
+import (
+	"os"
+
+	"repro/internal/taskset"
+	"repro/internal/vtime"
+	"repro/sim/scenario"
+)
+
+// Re-exported spec types: the builder and the JSON codec share one
+// vocabulary, so any built system can be serialized and vice versa.
+type (
+	// Scenario is the declarative description of one simulation.
+	Scenario = scenario.Scenario
+	// Task declares one periodic task.
+	Task = scenario.Task
+	// Fault declares one fault-model entry.
+	Fault = scenario.Fault
+	// Server declares an aperiodic polling server.
+	Server = scenario.Server
+	// Request is one aperiodic arrival.
+	Request = scenario.Request
+	// Duration is a JSON-friendly vtime.Duration ("29ms").
+	Duration = scenario.Duration
+)
+
+// Fault kinds, re-exported from sim/scenario.
+const (
+	FaultOverrunAt     = scenario.FaultOverrunAt
+	FaultOverrunEvery  = scenario.FaultOverrunEvery
+	FaultUnderrunEvery = scenario.FaultUnderrunEvery
+	FaultJitter        = scenario.FaultJitter
+	FaultInterference  = scenario.FaultInterference
+)
+
+// Millis is a convenience for building specs: n milliseconds.
+func Millis(n int64) Duration { return Duration(vtime.Millis(n)) }
+
+// Option mutates the scenario under construction.
+type Option func(*Scenario) error
+
+// New builds a system from functional options and validates it.
+func New(opts ...Option) (*System, error) {
+	var sc Scenario
+	for _, opt := range opts {
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
+	}
+	return FromScenario(sc)
+}
+
+// Load builds a system from a scenario JSON file.
+func Load(path string) (*System, error) {
+	sc, err := scenario.DecodeFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sc: *sc}, nil
+}
+
+// WithName labels the scenario.
+func WithName(name string) Option {
+	return func(sc *Scenario) error { sc.Name = name; return nil }
+}
+
+// WithTasks appends task specs to the scenario.
+func WithTasks(tasks ...Task) Option {
+	return func(sc *Scenario) error { sc.Tasks = append(sc.Tasks, tasks...); return nil }
+}
+
+// WithTaskSet appends an in-memory task set to the scenario.
+func WithTaskSet(s *taskset.Set) Option {
+	return func(sc *Scenario) error {
+		for _, t := range s.Tasks {
+			sc.Tasks = append(sc.Tasks, scenario.FromTask(t))
+		}
+		return nil
+	}
+}
+
+// WithTaskFile appends the tasks parsed from a task-description file
+// (the paper's text format, see taskset.Parse).
+func WithTaskFile(path string) Option {
+	return func(sc *Scenario) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err := taskset.Parse(f)
+		if err != nil {
+			return err
+		}
+		for _, t := range s.Tasks {
+			sc.Tasks = append(sc.Tasks, scenario.FromTask(t))
+		}
+		return nil
+	}
+}
+
+// WithPolicy selects a registered scheduling policy by name.
+func WithPolicy(name string) Option {
+	return func(sc *Scenario) error { sc.Policy = name; return nil }
+}
+
+// WithTreatment selects the paper's fault response by name: none |
+// detect | stop | equitable | system (long forms like
+// "stop-equitable" and "system-allowance" are accepted too).
+func WithTreatment(name string) Option {
+	return func(sc *Scenario) error { sc.Treatment = name; return nil }
+}
+
+// WithFaults appends fault entries to the scenario's plan.
+func WithFaults(faults ...Fault) Option {
+	return func(sc *Scenario) error { sc.Faults = append(sc.Faults, faults...); return nil }
+}
+
+// WithServer appends an aperiodic polling server.
+func WithServer(srv Server) Option {
+	return func(sc *Scenario) error { sc.Servers = append(sc.Servers, srv); return nil }
+}
+
+// WithHorizon sets the simulated duration.
+func WithHorizon(d vtime.Duration) Option {
+	return func(sc *Scenario) error { sc.Horizon = Duration(d); return nil }
+}
+
+// WithTimerResolution quantizes detector releases (jRate's
+// PeriodicTimer is 10 ms; zero means exact timers).
+func WithTimerResolution(d vtime.Duration) Option {
+	return func(sc *Scenario) error { sc.TimerResolution = Duration(d); return nil }
+}
+
+// WithStopPoll sets the stop-flag poll granularity (§4.1).
+func WithStopPoll(d vtime.Duration) Option {
+	return func(sc *Scenario) error { sc.StopPoll = Duration(d); return nil }
+}
+
+// WithStopJitter bounds the unbounded-cost poll jitter (§4.1).
+func WithStopJitter(max vtime.Duration) Option {
+	return func(sc *Scenario) error { sc.StopJitterMax = Duration(max); return nil }
+}
+
+// WithContextSwitch charges a per-dispatch overhead.
+func WithContextSwitch(d vtime.Duration) Option {
+	return func(sc *Scenario) error { sc.ContextSwitch = Duration(d); return nil }
+}
+
+// WithSeed seeds the run's randomness: the §4.1 stop jitter, and any
+// jitter fault without its own seed.
+func WithSeed(seed uint64) Option {
+	return func(sc *Scenario) error { sc.Seed = seed; return nil }
+}
+
+// WithoutAdmission skips the paper's admission control and runs the
+// bare engine — required for deliberately overloaded scenarios. Only
+// valid with treatment none.
+func WithoutAdmission() Option {
+	return func(sc *Scenario) error { sc.SkipAdmission = true; return nil }
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/allowance"
+	"repro/internal/analysis"
+	"repro/internal/aperiodic"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// System is a validated, not-yet-run simulation. Build with New,
+// FromScenario or Load; each Run compiles a fresh instance, so a
+// System may be run repeatedly (every run is identical — all
+// randomness is seeded by the scenario).
+type System struct {
+	sc Scenario
+}
+
+// FromScenario validates a declarative scenario into a System.
+func FromScenario(sc Scenario) (*System, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{sc: sc}, nil
+}
+
+// Scenario returns the underlying declarative spec, e.g. to encode it
+// back to JSON with scenario.Encode.
+func (s *System) Scenario() Scenario { return s.sc }
+
+// RunResult is the outcome of one scenario run.
+type RunResult struct {
+	// Scenario echoes the spec that produced the run.
+	Scenario Scenario
+	// Log is the recorded time series (the paper's log file).
+	Log *trace.Log
+	// Report summarizes jobs and tasks from the log.
+	Report *metrics.Report
+	// Admission is the pre-run feasibility report (nil when the
+	// scenario skipped admission control).
+	Admission *analysis.Report
+	// Allowance is the tolerance analysis (nil without admission).
+	Allowance *allowance.Table
+	// Detections counts detector-flagged faults.
+	Detections int64
+	// Switches counts dispatch switches.
+	Switches int64
+	// Served maps each declared server task name to its per-request
+	// service outcomes.
+	Served map[string][]aperiodic.Served
+}
+
+// Summary renders the per-task report.
+func (r *RunResult) Summary() string { return r.Report.Render() }
+
+// SuccessRatio is the fraction of released jobs that met their
+// deadline.
+func (r *RunResult) SuccessRatio() float64 { return r.Report.SuccessRatio() }
+
+// WriteLog encodes the trace log (the format cmd/rtchart consumes).
+func (r *RunResult) WriteLog(w io.Writer) error { return r.Log.Encode(w) }
+
+// ParseTreatment maps a treatment name to the detect constant. It
+// accepts the short command-line vocabulary (none, detect, stop,
+// equitable, system) and the paper's long forms (no-detection,
+// detect-only, stop-equitable, equitable-allowance,
+// system-allowance). The empty string means none.
+func ParseTreatment(name string) (detect.Treatment, error) {
+	switch name {
+	case "", "none", "no-detection":
+		return detect.NoDetection, nil
+	case "detect", "detect-only":
+		return detect.DetectOnly, nil
+	case "stop":
+		return detect.Stop, nil
+	case "equitable", "stop-equitable", "equitable-allowance":
+		return detect.Equitable, nil
+	case "system", "system-allowance":
+		return detect.SystemAllowance, nil
+	}
+	return 0, fmt.Errorf("sim: unknown treatment %q (want none|detect|stop|equitable|system)", name)
+}
+
+// Policies returns the names of all registered scheduling policies.
+func Policies() []string { return engine.PolicyNames() }
+
+// Run compiles the scenario and simulates it to the horizon.
+func (s *System) Run() (*RunResult, error) {
+	sc := s.sc
+	set, err := taskset.New(taskSlice(sc.Tasks)...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sc.FaultPlan()
+	if err != nil {
+		return nil, err
+	}
+	// Attach each polling server: its task joins the set, its queue
+	// model joins the plan. A fault entry declared on a server task
+	// composes with the polling model (a buggy server overrunning its
+	// declared capacity).
+	servers := make(map[string]*aperiodic.PollingServer, len(sc.Servers))
+	for _, spec := range sc.Servers {
+		ps := spec.Server()
+		declared := plan.For(ps.Task.Name)
+		delete(plan, ps.Task.Name)
+		set, plan, err = ps.Attach(set, plan)
+		if err != nil {
+			return nil, err
+		}
+		if _, isNone := declared.(fault.None); !isNone {
+			plan[ps.Task.Name] = fault.Chain{plan[ps.Task.Name], declared}
+		}
+		servers[ps.Task.Name] = ps
+	}
+	tr, err := ParseTreatment(sc.Treatment)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := engine.NewPolicy(sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Scenario: sc}
+	if sc.SkipAdmission {
+		eng, err := engine.New(engine.Config{
+			Tasks:         set,
+			Faults:        plan,
+			End:           vtime.Time(sc.Horizon),
+			Policy:        pol,
+			StopPoll:      sc.StopPoll.D(),
+			StopJitterMax: sc.StopJitterMax.D(),
+			Seed:          sc.Seed,
+			ContextSwitch: sc.ContextSwitch.D(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Log = eng.Run()
+		res.Report = metrics.Analyze(res.Log)
+		res.Switches = eng.Switches()
+	} else {
+		sys, err := core.NewSystem(core.Config{
+			Tasks:           set,
+			Treatment:       tr,
+			Faults:          plan,
+			Horizon:         sc.Horizon.D(),
+			TimerResolution: sc.TimerResolution.D(),
+			StopPoll:        sc.StopPoll.D(),
+			StopJitterMax:   sc.StopJitterMax.D(),
+			Seed:            sc.Seed,
+			ContextSwitch:   sc.ContextSwitch.D(),
+			Policy:          pol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Log = r.Log
+		res.Report = r.Report
+		res.Admission = r.Admission
+		res.Allowance = r.Allowance
+		res.Detections = r.Detections
+		res.Switches = r.Switches
+	}
+	if len(servers) > 0 {
+		res.Served = make(map[string][]aperiodic.Served, len(servers))
+		for name, ps := range servers {
+			res.Served[name] = ps.Analyze(res.Log)
+		}
+	}
+	return res, nil
+}
+
+func taskSlice(specs []Task) []taskset.Task {
+	out := make([]taskset.Task, len(specs))
+	for i, t := range specs {
+		out[i] = t.Task()
+	}
+	return out
+}
