@@ -21,7 +21,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 bench-json:
-	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' ./... | tee bench.txt
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./... | tee bench.txt
+	scripts/bench_stream_json.sh bench.txt BENCH_stream.json
 
 fmt:
 	gofmt -w .

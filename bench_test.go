@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/aperiodic"
+	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -401,6 +402,87 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		sup.Attach(e)
 		log := e.Run()
 		b.ReportMetric(float64(log.Len()), "trace_events")
+	}
+}
+
+// benchCollect runs the Figure system for a 10-minute virtual horizon
+// (≈ 5800 jobs, ≈ 42k trace events) under the stop treatment with a
+// recurring overrun, in the given collection mode. Run with -benchmem:
+// the Retain/Stream pair pins the memory story — streaming keeps
+// allocations O(1) per job (no retained log, no per-job records; B/op
+// and allocs/op drop accordingly) while reproducing the same report.
+// CI extracts the pair into BENCH_stream.json.
+func benchCollect(b *testing.B, mode engine.Collect) {
+	var jobs int
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(core.Config{
+			Tasks:           experiments.FigureSet(),
+			Treatment:       detect.Stop,
+			Faults:          fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 3, Extra: ms(45)}},
+			Horizon:         600 * vtime.Second,
+			TimerResolution: detect.DefaultTimerResolution,
+			Collect:         mode,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = res.Report.TotalReleased()
+		if jobs < 5000 {
+			b.Fatalf("10-minute horizon released only %d jobs", jobs)
+		}
+		if mode == engine.Stream && res.Log.Len() != 0 {
+			b.Fatalf("streaming run retained %d events", res.Log.Len())
+		}
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkCollectRetain10m is the baseline: full log and job
+// retention over a 10-minute virtual horizon.
+func BenchmarkCollectRetain10m(b *testing.B) { benchCollect(b, engine.Retain) }
+
+// BenchmarkCollectStream10m is the bounded-memory path: same
+// simulation, metrics accumulated online, nothing retained.
+func BenchmarkCollectStream10m(b *testing.B) { benchCollect(b, engine.Stream) }
+
+// TestStreamAllocsPerJobConstant pins the O(1)-per-job steady state:
+// doubling the horizon (and so the job count) must not raise the
+// per-job allocation count — streaming holds no structure that grows
+// with completed jobs, so the per-job cost is flat.
+func TestStreamAllocsPerJobConstant(t *testing.T) {
+	perJob := func(horizon vtime.Duration) float64 {
+		var jobs int
+		allocs := testing.AllocsPerRun(3, func() {
+			sys, err := core.NewSystem(core.Config{
+				Tasks:           experiments.FigureSet(),
+				Treatment:       detect.Stop,
+				Faults:          fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 3, Extra: ms(45)}},
+				Horizon:         horizon,
+				TimerResolution: detect.DefaultTimerResolution,
+				Collect:         engine.Stream,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = res.Report.TotalReleased()
+		})
+		return allocs / float64(jobs)
+	}
+	short := perJob(600 * vtime.Second)
+	long := perJob(1200 * vtime.Second)
+	// Identical workload shape at both horizons; allow 10% noise from
+	// map growth and GC timing.
+	if long > short*1.10 {
+		t.Errorf("allocs per job grew with the horizon: %.2f at 10m vs %.2f at 20m", short, long)
 	}
 }
 

@@ -7,11 +7,17 @@
 //	rtchart -log run.log -from 990 -to 1140 [-cell 2] [-svg out.svg]
 //	        [-tasks tau1,tau2,tau3] [-deadlines tau1:70,tau2:120]
 //	        [-wcrt tau1:29,tau2:58,tau3:87]
+//
+// When -to is omitted the window closes 200 ms after -from. An
+// explicit window must be well formed: a non-positive or inverted end
+// (-to ≤ -from) is rejected rather than silently rewritten.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,37 +27,63 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtchart", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		logPath   = flag.String("log", "", "trace log file (required, '-' for stdin)")
-		fromMS    = flag.Int64("from", 0, "window start (ms)")
-		toMS      = flag.Int64("to", 0, "window end (ms; 0 = start+200)")
-		cellMS    = flag.Int64("cell", 2, "ASCII cell width in ms")
-		svgPath   = flag.String("svg", "", "write an SVG chart to this file instead of ASCII stdout")
-		taskList  = flag.String("tasks", "", "lane order, comma separated (default: sorted)")
-		deadlines = flag.String("deadlines", "", "deadline markers: task:ms, comma separated")
-		wcrts     = flag.String("wcrt", "", "WCRT markers: task:ms, comma separated")
+		logPath   = fs.String("log", "", "trace log file (required, '-' for stdin)")
+		fromMS    = fs.Int64("from", 0, "window start (ms)")
+		toMS      = fs.Int64("to", 0, "window end (ms; default: start+200)")
+		cellMS    = fs.Int64("cell", 2, "ASCII cell width in ms")
+		svgPath   = fs.String("svg", "", "write an SVG chart to this file instead of ASCII stdout")
+		taskList  = fs.String("tasks", "", "lane order, comma separated (default: sorted)")
+		deadlines = fs.String("deadlines", "", "deadline markers: task:ms, comma separated")
+		wcrts     = fs.String("wcrt", "", "WCRT markers: task:ms, comma separated")
 	)
-	flag.Parse()
-	if *logPath == "" {
-		fmt.Fprintln(os.Stderr, "rtchart: -log is required")
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	in := os.Stdin
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rtchart:", err)
+		return 1
+	}
+	if *logPath == "" {
+		fmt.Fprintln(stderr, "rtchart: -log is required")
+		fs.Usage()
+		return 2
+	}
+	toSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "to" {
+			toSet = true
+		}
+	})
+	if toSet {
+		if *toMS <= 0 || *toMS <= *fromMS {
+			fmt.Fprintf(stderr, "rtchart: window [-from %d, -to %d) is empty: -to must be positive and greater than -from\n", *fromMS, *toMS)
+			return 2
+		}
+	} else {
+		*toMS = *fromMS + 200
+	}
+	in := io.Reader(os.Stdin)
 	if *logPath != "-" {
 		f, err := os.Open(*logPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	log, err := trace.Decode(in)
 	if err != nil {
-		fatal(err)
-	}
-	if *toMS == 0 {
-		*toMS = *fromMS + 200
+		return fail(err)
 	}
 	opts := chart.Options{
 		From:   vtime.AtMillis(*fromMS),
@@ -63,20 +95,21 @@ func main() {
 	}
 	wm, err := parseMarks(*wcrts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opts.WCRTMarks = wm
 	dm, err := parseMarks(*deadlines)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(chart.SVG(log, opts, dm)), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
-	fmt.Print(chart.ASCII(log, opts, dm))
+	fmt.Fprint(stdout, chart.ASCII(log, opts, dm))
+	return 0
 }
 
 func parseMarks(spec string) (map[string]vtime.Duration, error) {
@@ -96,9 +129,4 @@ func parseMarks(spec string) (map[string]vtime.Duration, error) {
 		out[name] = d
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rtchart:", err)
-	os.Exit(1)
 }

@@ -1,10 +1,137 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/chart"
+	"repro/internal/trace"
 	"repro/internal/vtime"
+	"repro/sim"
 )
+
+// writeFigureLog runs the committed figure5 scenario and writes its
+// trace log to a temp file, returning the path and the decoded log.
+func writeFigureLog(t *testing.T) (string, *trace.Log) {
+	t.Helper()
+	sys, err := sim.Load(filepath.Join("..", "..", "testdata", "scenarios", "figure5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.WriteLog(f); err != nil {
+		t.Fatal(err)
+	}
+	return path, res.Log
+}
+
+// TestASCIIGolden pins the CLI wiring: the rendered chart on stdout
+// is exactly the library's ASCII rendering of the same window.
+func TestASCIIGolden(t *testing.T) {
+	path, log := writeFigureLog(t)
+	var stdout, stderr bytes.Buffer
+	args := []string{"-log", path, "-from", "990", "-to", "1140",
+		"-deadlines", "tau1:70,tau2:120,tau3:120", "-wcrt", "tau1:29,tau2:58,tau3:87"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtchart exited %d: %s", code, stderr.String())
+	}
+	marks := map[string]vtime.Duration{"tau1": vtime.Millis(29), "tau2": vtime.Millis(58), "tau3": vtime.Millis(87)}
+	dl := map[string]vtime.Duration{"tau1": vtime.Millis(70), "tau2": vtime.Millis(120), "tau3": vtime.Millis(120)}
+	want := chart.ASCII(log, chart.Options{
+		From: vtime.AtMillis(990), To: vtime.AtMillis(1140), CellMS: 2, WCRTMarks: marks,
+	}, dl)
+	if stdout.String() != want {
+		t.Errorf("CLI output differs from chart.ASCII:\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+	for _, task := range []string{"tau1", "tau2", "tau3"} {
+		if !strings.Contains(stdout.String(), task) {
+			t.Errorf("chart missing lane %s", task)
+		}
+	}
+}
+
+// TestSVGGolden: -svg writes the library's SVG rendering to the file
+// and nothing to stdout.
+func TestSVGGolden(t *testing.T) {
+	path, log := writeFigureLog(t)
+	svgPath := filepath.Join(t.TempDir(), "out.svg")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-log", path, "-from", "990", "-to", "1140", "-svg", svgPath}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtchart -svg exited %d: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-svg must not write to stdout, got %q", stdout.String())
+	}
+	got, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chart.SVG(log, chart.Options{
+		From: vtime.AtMillis(990), To: vtime.AtMillis(1140), CellMS: 2,
+	}, nil)
+	if string(got) != want {
+		t.Error("SVG file differs from chart.SVG rendering")
+	}
+	if !strings.Contains(string(got), "<svg") {
+		t.Error("output is not an SVG document")
+	}
+}
+
+// TestWindowValidation: an explicit non-positive or inverted window
+// is an error, not a silent rewrite; the default window still applies
+// when -to is omitted.
+func TestWindowValidation(t *testing.T) {
+	path, _ := writeFigureLog(t)
+	for _, bad := range [][]string{
+		{"-log", path, "-from", "990", "-to", "0"},
+		{"-log", path, "-to", "-5"},
+		{"-log", path, "-from", "1140", "-to", "990"},
+		{"-log", path, "-from", "990", "-to", "990"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(bad, &stdout, &stderr); code != 2 {
+			t.Errorf("%v exited %d, want 2", bad, code)
+		}
+		if !strings.Contains(stderr.String(), "-to") {
+			t.Errorf("%v: error must explain the window: %s", bad, stderr.String())
+		}
+	}
+	// Omitted -to defaults to -from+200 and succeeds.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-log", path, "-from", "990"}, &stdout, &stderr); code != 0 {
+		t.Errorf("default window exited %d: %s", code, stderr.String())
+	}
+}
+
+func TestMissingLogFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -log exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-log") {
+		t.Errorf("error must name -log: %s", stderr.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("rtchart -h exited %d, want 0", code)
+	}
+}
 
 func TestParseMarks(t *testing.T) {
 	m, err := parseMarks("tau1:29,tau2:58,tau3:87")

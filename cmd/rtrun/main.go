@@ -8,6 +8,7 @@
 //	rtrun -tasks system.tasks [-treatment stop] [-horizon 3000]
 //	      [-fault tau1:5:40] [-resolution 10] [-o run.log]
 //	rtrun -scenario scenario.json [-o run.log]
+//	rtrun -tasks system.tasks -horizon 3600000 -stream [-trace-out run.log]
 //
 // The -fault flag injects a cost overrun (task:job:extraMS) like the
 // paper's §6 voluntary overrun on the priority task. The -scenario
@@ -15,6 +16,14 @@
 // policy, treatment, servers, horizon, seed — see repro/sim/scenario)
 // from a JSON file, so arbitrary workloads run with zero code
 // changes.
+//
+// -stream switches to streaming collection for long horizons: metrics
+// are accumulated online with bounded memory instead of retaining
+// every job and event, and the summary still prints. The trace is
+// discarded unless -trace-out spills it during the run ('-' for
+// stdout) — the spilled bytes are identical to the -o log of the same
+// retained run. In a scenario file the equivalent is the
+// {"collect": {"mode": "stream"}} block.
 package main
 
 import (
@@ -46,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resolution = fs.Int64("resolution", 10, "detector timer resolution in ms (0 = exact)")
 		outPath    = fs.String("o", "", "log output file (default stdout)")
 		summary    = fs.Bool("summary", true, "print the per-task summary to stderr")
+		stream     = fs.Bool("stream", false, "streaming collection: bounded memory, no retained log (long horizons)")
+		traceOut   = fs.String("trace-out", "", "stream the trace to this file during the run ('-' for stdout; needs streaming collection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,12 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *scenPath != "" {
 		// The scenario file carries the whole run description; a
-		// legacy flag set alongside it would be silently ignored, so
-		// reject the combination outright.
+		// legacy flag set alongside it would be silently ignored or
+		// contradicted, so reject the combination outright
+		// (-stream's scenario form is the "collect" block).
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "treatment", "horizon", "fault", "resolution":
+			case "treatment", "horizon", "fault", "resolution", "stream":
 				conflict = f.Name
 			}
 		})
@@ -89,32 +101,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if perr != nil {
 			return fail(perr)
 		}
-		sys, err = sim.New(
+		opts := []sim.Option{
 			sim.WithTaskFile(*tasksPath),
 			sim.WithTreatment(*treatment),
 			sim.WithHorizon(vtime.Millis(*horizonMS)),
 			sim.WithTimerResolution(vtime.Millis(*resolution)),
 			sim.WithFaults(faults...),
-		)
+		}
+		if *stream {
+			opts = append(opts, sim.WithCollection(sim.CollectStream))
+		}
+		sys, err = sim.New(opts...)
 	}
 	if err != nil {
 		return fail(err)
+	}
+	sc := sys.Scenario()
+	streaming := sc.Streaming()
+	if streaming && *outPath != "" {
+		fmt.Fprintln(stderr, "rtrun: -o conflicts with streaming collection (no retained log; use -trace-out to spill the trace during the run)")
+		return 2
+	}
+	if *traceOut != "" && !streaming {
+		fmt.Fprintln(stderr, "rtrun: -trace-out needs streaming collection (-stream, or a scenario collect mode \"stream\"); a retained run writes its log via -o")
+		return 2
+	}
+	if *traceOut != "" {
+		w := stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		sys.SpillTrace(w)
 	}
 	res, err := sys.Run()
 	if err != nil {
 		return fail(err)
 	}
-	out := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	if !streaming {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteLog(out); err != nil {
 			return fail(err)
 		}
-		defer f.Close()
-		out = f
-	}
-	if err := res.WriteLog(out); err != nil {
-		return fail(err)
 	}
 	if *summary {
 		fmt.Fprint(stderr, res.Summary())

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -145,5 +146,95 @@ func TestHelpExitsZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
 		t.Errorf("rtrun -h exited %d, want 0", code)
+	}
+}
+
+// TestStreamTraceOutMatchesRetainedLog: the -stream -trace-out spill
+// is byte-identical to the log of the same retained run, and the
+// summary still prints from the online accumulator.
+func TestStreamTraceOutMatchesRetainedLog(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	base := []string{"-tasks", tasks, "-treatment", "stop", "-horizon", "1500",
+		"-fault", "tau1:5:40", "-resolution", "10"}
+
+	var retainOut, retainErr bytes.Buffer
+	if code := run(base, &retainOut, &retainErr); code != 0 {
+		t.Fatalf("retained run exited %d: %s", code, retainErr.String())
+	}
+
+	var streamOut, streamErr bytes.Buffer
+	args := append(append([]string{}, base...), "-stream", "-trace-out", "-")
+	if code := run(args, &streamOut, &streamErr); code != 0 {
+		t.Fatalf("streaming run exited %d: %s", code, streamErr.String())
+	}
+	if streamOut.String() != retainOut.String() {
+		t.Error("streamed trace differs from the retained log")
+	}
+	if streamErr.String() != retainErr.String() {
+		t.Errorf("streaming summary differs:\n--- stream ---\n%s--- retain ---\n%s",
+			streamErr.String(), retainErr.String())
+	}
+}
+
+// TestStreamWithoutTraceOutDiscards: -stream alone writes no log to
+// stdout but still summarizes.
+func TestStreamWithoutTraceOutDiscards(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-tasks", tasks, "-horizon", "1500", "-stream"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-stream without -trace-out must write nothing to stdout, got %d bytes", stdout.Len())
+	}
+	if !strings.Contains(stderr.String(), "tau1") {
+		t.Errorf("summary missing: %s", stderr.String())
+	}
+}
+
+// TestStreamFlagConflicts: -stream contradicts -scenario (the collect
+// block owns it), -o is meaningless under streaming, and -trace-out
+// needs a streaming run.
+func TestStreamFlagConflicts(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-scenario", scen, "-stream"}, "stream"},
+		{[]string{"-tasks", tasks, "-stream", "-o", "x.log"}, "-o"},
+		{[]string{"-tasks", tasks, "-trace-out", "x.log"}, "-trace-out"},
+		{[]string{"-scenario", scen, "-trace-out", "x.log"}, "-trace-out"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v exited %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: error must mention %q: %s", tc.args, tc.want, stderr.String())
+		}
+	}
+}
+
+// TestScenarioStreamingCollectBlock: a scenario declaring the collect
+// block streams end to end through the CLI, spilling via -trace-out.
+func TestScenarioStreamingCollectBlock(t *testing.T) {
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "stream-soak.json")
+	out := filepath.Join(t.TempDir(), "soak.log")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", scen, "-trace-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("spilled trace does not decode: %v", err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("empty spilled trace")
 	}
 }

@@ -73,6 +73,24 @@
 // trade-off) is a single closed-form analysis rather than a
 // simulation sweep, so it runs inline and ignores those knobs.
 //
+// # Streaming collection
+//
+// A run retains, by default, every job record and every trace event —
+// memory linear in the horizon. Streaming collection
+// (sim.WithCollection(sim.CollectStream), the scenario "collect"
+// block, rtrun -stream, rtexp -stream) bounds memory for
+// long-horizon and soak runs: the engine recycles finished jobs,
+// skips the in-memory log, and feeds each event to a trace.Sink — a
+// metrics.Accumulator that maintains per-task counts, success
+// ratios, response min/mean/max and an ε-approximate quantile sketch
+// online, optionally teed with a trace.WriterSink that spills the
+// byte-identical text log to disk (System.SpillTrace, rtrun
+// -trace-out). Streaming reports equal retained reports exactly on
+// every summary field; percentiles carry a ±εn rank-error bound
+// (metrics.DefaultSketchEpsilon). Cross-mode equivalence, the sketch
+// bound, and the O(1) allocs-per-job steady state are pinned by
+// tests and by BenchmarkCollectRetain10m/BenchmarkCollectStream10m.
+//
 // The benchmark harness in bench_test.go regenerates every published
 // artefact: go test -bench=. -benchmem.
 package repro

@@ -48,6 +48,16 @@ type Config struct {
 	// with NoDetection: the detectors' WCRT arming presupposes
 	// fixed-priority response-time analysis.
 	Policy engine.Policy
+	// Collect selects run-data retention: engine.Retain (default)
+	// keeps the full log and job history; engine.Stream bounds memory
+	// for long horizons — the Report comes from a streaming
+	// metrics.Accumulator and Result.Log stays empty.
+	Collect engine.Collect
+	// TraceSink, when non-nil, receives every trace event as it is
+	// recorded: alongside the log under Retain, instead of it under
+	// Stream (spill-to-disk via trace.NewWriterSink; the caller
+	// flushes after Run).
+	TraceSink trace.Sink
 }
 
 // Result is the outcome of a run.
@@ -130,6 +140,15 @@ func (s *System) Run() (*Result, error) {
 // admission examples): setup runs after detectors are attached and
 // may schedule events on the engine before it starts.
 func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (*Result, error) {
+	var acc *metrics.Accumulator
+	sink := s.cfg.TraceSink
+	if s.cfg.Collect == engine.Stream {
+		// Streaming: the accumulator summarizes the event stream in
+		// place of the post-hoc Analyze; the optional TraceSink sees
+		// the same events (Tee skips it when nil).
+		acc = metrics.NewAccumulator()
+		sink = trace.Tee(acc, sink)
+	}
 	eng, err := engine.New(engine.Config{
 		Tasks:         s.cfg.Tasks,
 		Faults:        s.cfg.Faults,
@@ -139,6 +158,8 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		StopJitterMax: s.cfg.StopJitterMax,
 		Seed:          s.cfg.Seed,
 		ContextSwitch: s.cfg.ContextSwitch,
+		Collect:       s.cfg.Collect,
+		Sink:          sink,
 		Hooks:         s.sup.Hooks(),
 	})
 	if err != nil {
@@ -149,9 +170,15 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		setup(eng, s.sup)
 	}
 	log := eng.Run()
+	var rep *metrics.Report
+	if acc != nil {
+		rep = acc.Report()
+	} else {
+		rep = metrics.Analyze(log)
+	}
 	return &Result{
 		Log:        log,
-		Report:     metrics.Analyze(log),
+		Report:     rep,
 		Admission:  s.Admission(),
 		Allowance:  s.sup.Table(),
 		Detections: s.sup.Detections(),

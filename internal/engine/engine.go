@@ -24,6 +24,23 @@ import (
 	"repro/internal/vtime"
 )
 
+// Collect selects how much run data the engine retains.
+type Collect uint8
+
+// Collection modes.
+const (
+	// Retain is the default: every Job is kept for post-hoc queries
+	// (Jobs, JobAt, metrics.Analyze) and every event is appended to
+	// the in-memory log. Memory grows with the horizon.
+	Retain Collect = iota
+	// Stream bounds memory for long-horizon runs: finished Job
+	// records are released for collection as soon as they leave the
+	// pending queue, and events bypass the in-memory log, going only
+	// to Config.Sink (a metrics.Accumulator, a spill writer, or
+	// nothing). Jobs returns nil and JobAt resolves live jobs only.
+	Stream
+)
+
 // Config parameterizes a run.
 type Config struct {
 	// Tasks is the static task system started at time zero.
@@ -52,7 +69,16 @@ type Config struct {
 	// switch (zero by default; used by the detector-overhead sweep).
 	ContextSwitch vtime.Duration
 	// Log receives trace events; a fresh log is created when nil.
+	// Only meaningful with Retain collection — combining it with
+	// Stream is a configuration error.
 	Log *trace.Log
+	// Collect selects Retain (default) or Stream collection.
+	Collect Collect
+	// Sink, when non-nil, receives every trace event as it is
+	// recorded — in addition to the log under Retain, instead of it
+	// under Stream. Typical streaming sinks: metrics.Accumulator,
+	// trace.WriterSink, or a trace.Tee of both.
+	Sink trace.Sink
 	// Hooks observe the run (all optional).
 	Hooks Hooks
 }
@@ -186,15 +212,28 @@ type taskState struct {
 	pending []*Job // released, unfinished jobs in FIFO order
 	removed bool
 	// jobs retains every job for metrics (bounded by horizon/period).
+	// Left empty under Stream collection, where finished jobs must be
+	// collectible.
 	jobs []*Job
 }
 
 // head returns the task's earliest unfinished job, or nil. Jobs of
 // one task execute in release order: the RTSJ thread is sequential,
 // a late job delays its successors (the arbitrary-deadline model).
+// Consumed jobs are compacted out of the queue in place — re-slicing
+// the prefix away instead would pin the backing array and every
+// popped *Job for the run's lifetime.
 func (ts *taskState) head() *Job {
-	for len(ts.pending) > 0 && ts.pending[0].done {
-		ts.pending = ts.pending[1:]
+	n := 0
+	for n < len(ts.pending) && ts.pending[n].done {
+		n++
+	}
+	if n > 0 {
+		m := copy(ts.pending, ts.pending[n:])
+		for i := m; i < len(ts.pending); i++ {
+			ts.pending[i] = nil
+		}
+		ts.pending = ts.pending[:m]
 	}
 	if len(ts.pending) == 0 {
 		return nil
@@ -227,6 +266,8 @@ const (
 type Engine struct {
 	cfg    Config
 	log    *trace.Log
+	sink   trace.Sink // nil unless Config.Sink was set
+	stream bool       // Config.Collect == Stream
 	policy Policy
 	rng    *taskset.Rand
 
@@ -257,15 +298,29 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.StopPoll <= 0 {
 		cfg.StopPoll = vtime.Millisecond
 	}
+	switch cfg.Collect {
+	case Retain, Stream:
+	default:
+		return nil, fmt.Errorf("engine: unknown collection mode %d", cfg.Collect)
+	}
+	if cfg.Collect == Stream && cfg.Log != nil {
+		return nil, fmt.Errorf("engine: Config.Log cannot combine with Stream collection (events go to Config.Sink)")
+	}
 	e := &Engine{
 		cfg:    cfg,
 		log:    cfg.Log,
+		sink:   cfg.Sink,
+		stream: cfg.Collect == Stream,
 		policy: cfg.Policy,
 		rng:    taskset.NewRand(cfg.Seed),
 		byName: make(map[string]*taskState, cfg.Tasks.Len()),
 	}
 	if e.log == nil {
-		e.log = trace.NewLog(4096)
+		n := 4096
+		if e.stream {
+			n = 0 // stays empty: Run still returns a valid, empty log
+		}
+		e.log = trace.NewLog(n)
 	}
 	if e.policy == nil {
 		e.policy = FixedPriority{}
@@ -291,7 +346,7 @@ func (e *Engine) addTaskState(t taskset.Task, m fault.Model) *taskState {
 // Now returns the current virtual instant.
 func (e *Engine) Now() vtime.Time { return e.now }
 
-// Log returns the trace log.
+// Log returns the trace log (empty under Stream collection).
 func (e *Engine) Log() *trace.Log { return e.log }
 
 // Switches returns the number of dispatch switches so far.
@@ -300,8 +355,17 @@ func (e *Engine) Switches() int64 { return e.switches }
 // PolicyName returns the active policy's name.
 func (e *Engine) PolicyName() string { return e.policy.Name() }
 
-// Record appends a trace event; exported for the supervisor.
-func (e *Engine) Record(ev trace.Event) { e.log.Append(ev) }
+// Record appends a trace event; exported for the supervisor. Under
+// Retain collection the event lands in the in-memory log (plus the
+// optional sink); under Stream it goes to the sink alone.
+func (e *Engine) Record(ev trace.Event) {
+	if !e.stream {
+		e.log.Append(ev)
+	}
+	if e.sink != nil {
+		e.sink.Append(ev)
+	}
+}
 
 // Schedule enqueues fn to run at instant at (clamped to now).
 func (e *Engine) Schedule(at vtime.Time, fn func(now vtime.Time)) {
@@ -426,7 +490,12 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 		AbsDeadline: now.Add(ts.task.Deadline),
 		Actual:      ts.model.ActualCost(q, ts.task.Cost),
 	}
-	ts.jobs = append(ts.jobs, j)
+	if !e.stream {
+		// Streaming keeps no per-job history: once a finished job
+		// leaves the pending queue, nothing but in-flight events
+		// (its deadline check, at the latest) reference it.
+		ts.jobs = append(ts.jobs, j)
+	}
 	e.Record(trace.Event{At: now, Kind: trace.JobRelease, Task: ts.task.Name, Job: q})
 	if !e.policy.Admit(e, j) {
 		j.dropped = true
@@ -528,19 +597,35 @@ func (e *Engine) bestReady() *Job {
 	return best
 }
 
-// JobAt returns task's job q and whether it exists.
+// JobAt returns task's job q and whether it exists. Under Stream
+// collection only live (released, not yet consumed) jobs resolve;
+// callers — the detectors, D-over's watchdog — already treat a
+// missing job the same as a finished one.
 func (e *Engine) JobAt(task string, q int64) (*Job, bool) {
 	ts, ok := e.byName[task]
-	if !ok || q < 0 || q >= int64(len(ts.jobs)) {
+	if !ok || q < 0 {
+		return nil, false
+	}
+	if e.stream {
+		for _, j := range ts.pending {
+			if j.Q == q {
+				return j, true
+			}
+		}
+		return nil, false
+	}
+	if q >= int64(len(ts.jobs)) {
 		return nil, false
 	}
 	return ts.jobs[q], true
 }
 
-// Jobs returns every job of the task released so far, in order.
+// Jobs returns every job of the task released so far, in order. Under
+// Stream collection job history is not retained and Jobs returns nil;
+// use a metrics.Accumulator sink for summaries instead.
 func (e *Engine) Jobs(task string) []*Job {
 	ts, ok := e.byName[task]
-	if !ok {
+	if !ok || e.stream {
 		return nil
 	}
 	return ts.jobs

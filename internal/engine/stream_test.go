@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+)
+
+// TestStreamEmitsIdenticalEvents: the same configuration run under
+// Stream collection delivers, through its sink, exactly the event
+// sequence Retain collection appends to the log.
+func TestStreamEmitsIdenticalEvents(t *testing.T) {
+	cfg := Config{
+		Tasks:  table2WithOffset(),
+		Faults: fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 3, Extra: ms(45)}},
+		End:    at(6000),
+	}
+	_, retained := run(t, cfg)
+
+	sunk := trace.NewLog(4096)
+	streamCfg := cfg
+	streamCfg.Tasks = table2WithOffset()
+	streamCfg.Collect = Stream
+	streamCfg.Sink = sunk
+	e, log := run(t, streamCfg)
+	if log.Len() != 0 {
+		t.Errorf("streaming run retained %d events in its log", log.Len())
+	}
+	if sunk.EncodeString() != retained.EncodeString() {
+		t.Error("streamed event sequence differs from the retained log")
+	}
+	if e.Log().Len() != 0 {
+		t.Error("Log() must stay empty under Stream")
+	}
+}
+
+// TestStreamRecyclesJobs: under Stream no job history survives —
+// Jobs is nil, JobAt resolves live jobs only — while live jobs stay
+// reachable for the detectors' StopJob path.
+func TestStreamRecyclesJobs(t *testing.T) {
+	sawLive := false
+	cfg := Config{
+		Tasks:   table2WithOffset(),
+		End:     at(3000),
+		Collect: Stream,
+		Hooks: Hooks{
+			OnRelease: func(e *Engine, j *Job) {
+				if jj, ok := e.JobAt(j.TaskName(), j.Q); ok && jj == j {
+					sawLive = true
+				}
+			},
+		},
+	}
+	e, _ := run(t, cfg)
+	if !sawLive {
+		t.Error("live jobs must resolve through JobAt while pending")
+	}
+	if jobs := e.Jobs("tau1"); jobs != nil {
+		t.Errorf("Jobs must be nil under Stream, got %d jobs", len(jobs))
+	}
+	if _, ok := e.JobAt("tau1", 0); ok {
+		t.Error("finished jobs must not resolve under Stream")
+	}
+	for _, ts := range e.tasks {
+		if len(ts.jobs) != 0 {
+			t.Errorf("%s retained %d job records under Stream", ts.task.Name, len(ts.jobs))
+		}
+	}
+}
+
+// TestPendingQueueCompacts: consuming the pending queue must not pin
+// the popped prefix. An overloaded task (cost > period, no admission
+// here) accumulates a backlog; the consumed prefix must still be
+// compacted away rather than re-sliced into a growing dead zone.
+func TestPendingQueueCompacts(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "hog", Priority: 10, Period: ms(10), Deadline: ms(10), Cost: ms(9)},
+		taskset.Task{Name: "bg", Priority: 5, Period: ms(100), Deadline: ms(100), Cost: ms(5)},
+	)
+	e, _ := run(t, Config{Tasks: set, End: at(20000)})
+	for _, ts := range e.tasks {
+		// After a run every released job of a schedulable task is
+		// done; head() must have compacted them all out.
+		if h := ts.head(); h == nil && len(ts.pending) != 0 {
+			t.Errorf("%s: %d done jobs left in pending", ts.task.Name, len(ts.pending))
+		}
+		// The queue never held more than the small live window, so
+		// its backing array must not have grown with the horizon
+		// (2000 hog jobs released).
+		if cap(ts.pending) > 64 {
+			t.Errorf("%s: pending capacity %d grew with the horizon", ts.task.Name, cap(ts.pending))
+		}
+	}
+}
+
+// TestPendingPrefixNiledOut: the compaction clears the vacated slots
+// so finished jobs are collectible even while the array is reused.
+func TestPendingPrefixNiledOut(t *testing.T) {
+	ts := &taskState{task: taskset.Task{Name: "x"}}
+	jobs := make([]*Job, 5)
+	for i := range jobs {
+		jobs[i] = &Job{task: ts, Q: int64(i), done: i < 3}
+	}
+	ts.pending = jobs
+	j3 := jobs[3] // the compaction moves and nils slots in place
+	h := ts.head()
+	if h != j3 {
+		t.Fatalf("head = %v, want job 3", h)
+	}
+	if len(ts.pending) != 2 {
+		t.Fatalf("pending len = %d, want 2", len(ts.pending))
+	}
+	full := ts.pending[:cap(ts.pending)]
+	for i := len(ts.pending); i < len(full); i++ {
+		if full[i] != nil {
+			t.Errorf("vacated slot %d still references a job", i)
+		}
+	}
+}
+
+// TestStreamConfigValidation: Stream refuses a caller-provided Log,
+// and unknown collection modes are rejected.
+func TestStreamConfigValidation(t *testing.T) {
+	set := table2WithOffset()
+	if _, err := New(Config{Tasks: set, End: at(100), Collect: Stream, Log: trace.NewLog(1)}); err == nil {
+		t.Error("Stream plus Config.Log must be rejected")
+	}
+	if _, err := New(Config{Tasks: set, End: at(100), Collect: Collect(99)}); err == nil {
+		t.Error("unknown collection mode must be rejected")
+	}
+}
+
+// TestRetainSinkTees: a sink set on a retained run sees the same
+// events the log records.
+func TestRetainSinkTees(t *testing.T) {
+	sunk := trace.NewLog(1024)
+	e, log := run(t, Config{Tasks: table2WithOffset(), End: at(1500), Sink: sunk})
+	if sunk.EncodeString() != log.EncodeString() {
+		t.Error("retained-run sink saw different events than the log")
+	}
+	if e.Log() != log {
+		t.Error("Log() must return the retained log")
+	}
+}

@@ -70,6 +70,7 @@ func BaselineComparisonCtx(ctx context.Context, extra vtime.Duration, horizon vt
 				Faults:          faults,
 				Horizon:         horizon,
 				TimerResolution: detect.DefaultTimerResolution,
+				Collect:         opt.collect(),
 			})
 			if err != nil {
 				return BaselinePoint{}, err
@@ -80,16 +81,27 @@ func BaselineComparisonCtx(ctx context.Context, extra vtime.Duration, horizon vt
 			}
 			return point("fp+detectors(stop)", res.Report), nil
 		}
-		e, err := engine.New(engine.Config{
-			Tasks:  FigureSet(),
-			Faults: faults,
-			Policy: p,
-			End:    vtime.Time(horizon),
-		})
+		cfg := engine.Config{
+			Tasks:   FigureSet(),
+			Faults:  faults,
+			Policy:  p,
+			End:     vtime.Time(horizon),
+			Collect: opt.collect(),
+		}
+		var acc *metrics.Accumulator
+		if opt.Stream {
+			acc = metrics.NewAccumulator()
+			cfg.Sink = acc
+		}
+		e, err := engine.New(cfg)
 		if err != nil {
 			return BaselinePoint{}, err
 		}
-		return point(p.Name(), metrics.Analyze(e.Run())), nil
+		log := e.Run()
+		if acc != nil {
+			return point(p.Name(), acc.Report()), nil
+		}
+		return point(p.Name(), metrics.Analyze(log)), nil
 	})
 }
 

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Accumulator is the streaming counterpart of Analyze: it consumes
+// trace events one at a time (it implements trace.Sink, so the engine
+// can feed it directly in streaming collection mode) and maintains
+// per-task counts, success ratios, response min/mean/max and an
+// ε-approximate response-time quantile sketch — without retaining
+// jobs or events. Transient per-job state is kept only for jobs that
+// have not yet terminated, so memory is bounded by the live-job
+// backlog, not the horizon.
+//
+// For any event sequence the engine emits, Report() agrees with
+// Analyze on every TaskSummary field exactly; percentiles answer from
+// the sketch within DefaultSketchEpsilon rank error (both pinned by
+// the cross-mode equivalence tests). Like Analyze, the per-job event
+// order assumed is the engine's: a job's terminal event (end or stop)
+// is its last.
+type Accumulator struct {
+	eps    float64
+	tasks  map[string]*TaskSummary
+	sketch map[string]*Sketch
+	live   map[jobKey]*liveJob
+}
+
+type jobKey struct {
+	task string
+	q    int64
+}
+
+// liveJob is the transient state of a job seen but not yet
+// terminated: exactly what summarizing its terminal event requires.
+type liveJob struct {
+	release  vtime.Time
+	missed   bool
+	detected bool
+}
+
+// NewAccumulator returns an empty accumulator using the default
+// sketch error bound.
+func NewAccumulator() *Accumulator { return NewAccumulatorEpsilon(DefaultSketchEpsilon) }
+
+// NewAccumulatorEpsilon returns an empty accumulator whose percentile
+// sketches carry rank-error bound eps.
+func NewAccumulatorEpsilon(eps float64) *Accumulator {
+	return &Accumulator{
+		eps:    eps,
+		tasks:  map[string]*TaskSummary{},
+		sketch: map[string]*Sketch{},
+		live:   map[jobKey]*liveJob{},
+	}
+}
+
+// ensure returns the live record of job k, creating it — and counting
+// the job as released, mirroring Analyze's distinct-job accounting —
+// on first sight.
+func (a *Accumulator) ensure(k jobKey, s *TaskSummary) *liveJob {
+	if lj, ok := a.live[k]; ok {
+		return lj
+	}
+	lj := &liveJob{}
+	a.live[k] = lj
+	s.Released++
+	return lj
+}
+
+// summary returns task's summary, creating it on first sight.
+func (a *Accumulator) summary(task string) *TaskSummary {
+	s, ok := a.tasks[task]
+	if !ok {
+		s = &TaskSummary{Task: task}
+		a.tasks[task] = s
+	}
+	return s
+}
+
+// Append consumes one trace event (trace.Sink).
+func (a *Accumulator) Append(e trace.Event) {
+	if e.Task == "" || e.Job < 0 {
+		return
+	}
+	// Only the event kinds Analyze folds into job records may create
+	// one here; scheduler detail (begin/preempt/resume, detector
+	// releases) must not inflate the released count.
+	switch e.Kind {
+	case trace.JobRelease, trace.JobBegin, trace.JobEnd, trace.JobStopped,
+		trace.DeadlineMiss, trace.FaultDetected, trace.AllowanceGrant:
+	default:
+		return
+	}
+	k := jobKey{e.Task, e.Job}
+	s := a.summary(e.Task)
+	lj := a.ensure(k, s)
+	switch e.Kind {
+	case trace.JobRelease:
+		lj.release = e.At
+	case trace.JobEnd:
+		a.terminate(k, s, lj, e.At, false)
+	case trace.JobStopped:
+		a.terminate(k, s, lj, e.At, true)
+	case trace.DeadlineMiss:
+		if !lj.missed {
+			lj.missed = true
+			s.Missed++
+			s.Failed++
+		}
+	case trace.FaultDetected:
+		if !lj.detected {
+			lj.detected = true
+			s.Detected++
+		}
+	}
+}
+
+// terminate folds a job's terminal event into its task summary and
+// releases the transient record.
+func (a *Accumulator) terminate(k jobKey, s *TaskSummary, lj *liveJob, at vtime.Time, stopped bool) {
+	resp := at.Sub(lj.release)
+	if stopped {
+		s.Stopped++
+		if !lj.missed {
+			// A deadline miss has already been counted as the job's
+			// failure; otherwise the stop is it.
+			s.Failed++
+		}
+	} else {
+		s.Finished++
+	}
+	if resp > s.MaxResponse {
+		s.MaxResponse = resp
+	}
+	if s.respN == 0 || resp < s.MinResponse {
+		s.MinResponse = resp
+	}
+	s.respSum += resp
+	s.respN++
+	if !stopped && !lj.missed {
+		// The percentile sketch covers successful responses only,
+		// matching ResponsePercentile's exact path.
+		sk, ok := a.sketch[k.task]
+		if !ok {
+			sk = NewSketch(a.eps)
+			a.sketch[k.task] = sk
+		}
+		sk.Add(resp)
+	}
+	delete(a.live, k)
+}
+
+// Live returns the number of jobs currently tracked as released but
+// not terminated — the accumulator's only horizon-dependent state,
+// bounded by the scheduling backlog.
+func (a *Accumulator) Live() int { return len(a.live) }
+
+// Report snapshots the accumulated summaries as a *Report. The report
+// carries no per-job records (Jobs is nil); ResponsePercentile
+// answers from the quantile sketches instead. Report may be called
+// repeatedly (e.g. mid-run for progress and again at the end) — the
+// returned report is a true snapshot: summaries and sketches are
+// copies, unaffected by events accumulated afterwards.
+func (a *Accumulator) Report() *Report {
+	rep := &Report{
+		Tasks:    make(map[string]*TaskSummary, len(a.tasks)),
+		sketches: make(map[string]*Sketch, len(a.sketch)),
+	}
+	for name, s := range a.tasks {
+		c := *s
+		if c.respN > 0 {
+			c.MeanResponse = c.respSum / vtime.Duration(c.respN)
+		}
+		rep.Tasks[name] = &c
+	}
+	for name, sk := range a.sketch {
+		rep.sketches[name] = sk.Clone()
+	}
+	return rep
+}

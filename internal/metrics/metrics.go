@@ -58,7 +58,10 @@ type TaskSummary struct {
 	Missed   int // deadline misses (a stopped job may also miss)
 	Failed   int // Missed ∪ Stopped
 	Detected int
-	// MaxResponse and MeanResponse cover terminated jobs.
+	// MinResponse, MaxResponse and MeanResponse cover terminated jobs
+	// (completions and stops alike, matching the ended set Analyze
+	// reconstructs).
+	MinResponse  vtime.Duration
 	MaxResponse  vtime.Duration
 	MeanResponse vtime.Duration
 
@@ -75,11 +78,21 @@ func (s TaskSummary) SuccessRatio() float64 {
 	return float64(s.Released-s.Failed) / float64(s.Released)
 }
 
-// Report is the full analysis of a trace.
+// Report is the full analysis of a trace. Analyze builds it with
+// per-job records; Accumulator.Report builds it from streaming
+// collection, in which case Jobs is nil and percentile queries answer
+// from fixed-size quantile sketches instead of the job list.
 type Report struct {
 	Jobs  []JobRecord
 	Tasks map[string]*TaskSummary
+
+	// sketches backs ResponsePercentile for streaming reports.
+	sketches map[string]*Sketch
 }
+
+// Streaming reports whether this report came from streaming
+// collection: no per-job records, sketch-backed percentiles.
+func (r *Report) Streaming() bool { return r.sketches != nil }
 
 // Analyze reconstructs jobs and summaries from a trace log.
 func Analyze(l *trace.Log) *Report {
@@ -158,6 +171,9 @@ func Analyze(l *trace.Log) *Report {
 			if r > s.MaxResponse {
 				s.MaxResponse = r
 			}
+			if s.respN == 0 || r < s.MinResponse {
+				s.MinResponse = r
+			}
 			s.respSum += r
 			s.respN++
 		}
@@ -232,16 +248,32 @@ func (r *Report) Render() string {
 }
 
 // ResponsePercentile returns the p-th percentile (0 < p <= 100) of
-// the task's terminated-job response times, using nearest-rank. The
-// second result is false when the task has no terminated jobs or p is
-// out of range.
+// the task's successful response times — jobs that completed their
+// work without being stopped and without missing their deadline —
+// using nearest-rank. Failed jobs are excluded: a stopped job's
+// "response" is its stop instant and a missed job's is already past
+// its deadline, so neither describes the service the task delivered.
+// The second result is false when the task has no successful jobs or
+// p is out of range.
+//
+// On a streaming report (see Accumulator) the answer comes from the
+// task's quantile sketch: the returned value's rank among the exact
+// sorted responses is within ±εn of the nearest-rank target, with
+// ε = DefaultSketchEpsilon (or the accumulator's configured bound).
 func (r *Report) ResponsePercentile(task string, p float64) (vtime.Duration, bool) {
 	if p <= 0 || p > 100 {
 		return 0, false
 	}
+	if r.Streaming() {
+		sk, ok := r.sketches[task]
+		if !ok {
+			return 0, false
+		}
+		return sk.Query(p / 100)
+	}
 	var resp []vtime.Duration
 	for _, j := range r.Jobs {
-		if j.Task == task && j.ended {
+		if j.Task == task && j.ended && !j.Failed() {
 			resp = append(resp, j.Response())
 		}
 	}

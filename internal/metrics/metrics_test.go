@@ -169,4 +169,65 @@ func TestResponsePercentile(t *testing.T) {
 	if _, ok := rep.ResponsePercentile("ghost", 50); ok {
 		t.Error("unknown task must report no percentile")
 	}
+	// Boundary values of the open-closed (0, 100] domain.
+	if _, ok := rep.ResponsePercentile("a", -0.5); ok {
+		t.Error("negative p must be rejected")
+	}
+	if p, ok := rep.ResponsePercentile("a", 0.0001); !ok || p != vtime.Millis(1) {
+		t.Errorf("tiny positive p = %v, %v; want the minimum 1ms", p, ok)
+	}
+	if p, ok := rep.ResponsePercentile("a", 100); !ok || p != vtime.Millis(10) {
+		t.Errorf("p=100 = %v, %v; want the maximum 10ms", p, ok)
+	}
+}
+
+// TestResponsePercentileExcludesFailedJobs: stopped jobs and deadline
+// misses do not contribute — their "responses" describe the failure
+// instant, not delivered service — and a task whose jobs all failed
+// (or never finished) has no percentile at all.
+func TestResponsePercentileExcludesFailedJobs(t *testing.T) {
+	l := trace.NewLog(32)
+	// a: responses 1..4 ms successful, plus a stopped job (9 ms) and
+	// a missed-but-finished job (8 ms) that must not count.
+	for i := int64(0); i < 4; i++ {
+		l.Append(trace.Event{At: vtime.AtMillis(i * 100), Kind: trace.JobRelease, Task: "a", Job: i})
+		l.Append(trace.Event{At: vtime.AtMillis(i*100 + i + 1), Kind: trace.JobEnd, Task: "a", Job: i})
+	}
+	l.Append(ev(400, trace.JobRelease, "a", 4))
+	l.Append(ev(409, trace.JobStopped, "a", 4))
+	l.Append(ev(500, trace.JobRelease, "a", 5))
+	l.Append(ev(505, trace.DeadlineMiss, "a", 5))
+	l.Append(ev(508, trace.JobEnd, "a", 5))
+	// b: only a stopped job — no successful responses at all.
+	l.Append(ev(0, trace.JobRelease, "b", 0))
+	l.Append(ev(7, trace.JobStopped, "b", 0))
+	// c: released but never terminated.
+	l.Append(ev(0, trace.JobRelease, "c", 0))
+
+	rep := Analyze(l)
+	if p, ok := rep.ResponsePercentile("a", 100); !ok || p != vtime.Millis(4) {
+		t.Errorf("a p100 = %v, %v; want 4ms (failed responses excluded)", p, ok)
+	}
+	if p, ok := rep.ResponsePercentile("a", 50); !ok || p != vtime.Millis(2) {
+		t.Errorf("a p50 = %v, %v; want 2ms", p, ok)
+	}
+	for _, task := range []string{"b", "c"} {
+		if _, ok := rep.ResponsePercentile(task, 50); ok {
+			t.Errorf("task %s has no successful jobs: percentile must report false", task)
+		}
+	}
+	// The streaming path agrees: same exclusions, sketch-backed.
+	acc := NewAccumulator()
+	for _, e := range l.Events() {
+		acc.Append(e)
+	}
+	srep := acc.Report()
+	if p, ok := srep.ResponsePercentile("a", 100); !ok || p != vtime.Millis(4) {
+		t.Errorf("streaming a p100 = %v, %v; want 4ms", p, ok)
+	}
+	for _, task := range []string{"b", "c"} {
+		if _, ok := srep.ResponsePercentile(task, 50); ok {
+			t.Errorf("streaming: task %s must report no percentile", task)
+		}
+	}
 }

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// exactWindow returns the values at the rank window [rank-e, rank+e]
+// (1-based, clamped) of the sorted slice — the interval a sketch
+// answer must fall into to satisfy the ε rank-error bound.
+func exactWindow(sorted []vtime.Duration, q, eps float64) (lo, hi vtime.Duration) {
+	n := len(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	e := int(math.Ceil(eps * float64(n)))
+	lor, hir := rank-e, rank+e
+	if lor < 1 {
+		lor = 1
+	}
+	if hir > n {
+		hir = n
+	}
+	return sorted[lor-1], sorted[hir-1]
+}
+
+// checkBound asserts every queried quantile of the sketch lies within
+// the documented ε rank window of the exact sorted values.
+func checkBound(t *testing.T, name string, values []vtime.Duration, sk *Sketch) {
+	t.Helper()
+	sorted := append([]vtime.Duration(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		got, ok := sk.Query(q)
+		if !ok {
+			t.Fatalf("%s: Query(%v) failed on %d values", name, q, len(values))
+		}
+		lo, hi := exactWindow(sorted, q, sk.Epsilon())
+		if got < lo || got > hi {
+			t.Errorf("%s: q=%v: sketch=%v outside rank window [%v, %v] (n=%d)",
+				name, q, got, lo, hi, len(values))
+		}
+	}
+}
+
+// TestSketchErrorBoundProperty: across distributions and sizes, the
+// streaming quantile sketch stays within its documented ε rank-error
+// bound of the exact sort-based percentile.
+func TestSketchErrorBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gens := map[string]func() vtime.Duration{
+		"uniform":   func() vtime.Duration { return vtime.Duration(rng.Int63n(1_000_000)) },
+		"exp":       func() vtime.Duration { return vtime.Duration(rng.ExpFloat64() * 50_000) },
+		"bimodal":   func() vtime.Duration { return vtime.Duration(rng.Int63n(1000) + rng.Int63n(2)*900_000) },
+		"constant":  func() vtime.Duration { return vtime.Millis(29) },
+		"ascending": nil, // filled per size below
+		"duplicate": func() vtime.Duration { return vtime.Duration(rng.Int63n(5)) },
+	}
+	for _, n := range []int{1, 10, 100, 1000, 20000} {
+		for name, gen := range gens {
+			values := make([]vtime.Duration, n)
+			for i := range values {
+				if name == "ascending" {
+					values[i] = vtime.Duration(i)
+				} else {
+					values[i] = gen()
+				}
+			}
+			sk := NewSketch(DefaultSketchEpsilon)
+			for _, v := range values {
+				sk.Add(v)
+			}
+			if sk.N() != int64(n) {
+				t.Fatalf("%s/%d: N = %d", name, n, sk.N())
+			}
+			checkBound(t, name, values, sk)
+		}
+	}
+}
+
+// TestSketchBoundedSize: the summary must stay far below the input
+// size — the whole point of streaming percentiles.
+func TestSketchBoundedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sk := NewSketch(DefaultSketchEpsilon)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sk.Add(vtime.Duration(rng.Int63n(1 << 40)))
+	}
+	// GK retains O((1/ε)·log(εn)) tuples; with ε=0.01 and n=2e5 that
+	// is a few hundred. 2000 leaves a generous margin while still
+	// failing loudly if compression ever stops working.
+	if len(sk.t) > 2000 {
+		t.Errorf("sketch holds %d tuples for %d inputs; compression is broken", len(sk.t), n)
+	}
+}
+
+// TestSketchExtremes: minimum and maximum stay exact, and queries on
+// an empty or out-of-range sketch fail cleanly.
+func TestSketchExtremes(t *testing.T) {
+	sk := NewSketch(DefaultSketchEpsilon)
+	if _, ok := sk.Query(0.5); ok {
+		t.Error("empty sketch must not answer")
+	}
+	rng := rand.New(rand.NewSource(11))
+	min, max := vtime.Duration(math.MaxInt64), vtime.Duration(0)
+	for i := 0; i < 50_000; i++ {
+		v := vtime.Duration(rng.Int63n(1 << 30))
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sk.Add(v)
+	}
+	if got, _ := sk.Query(1.0); got != max {
+		t.Errorf("q=1.0 = %v, want exact max %v", got, max)
+	}
+	for _, q := range []float64{0, -1, 1.01} {
+		if _, ok := sk.Query(q); ok {
+			t.Errorf("Query(%v) must be rejected", q)
+		}
+	}
+	if NewSketch(-5).Epsilon() != DefaultSketchEpsilon {
+		t.Error("out-of-range epsilon must fall back to the default")
+	}
+}

@@ -106,7 +106,78 @@ type Event struct {
 	Arg int64
 }
 
-// Log is an append-only sequence of events ordered by record time.
+// Sink consumes trace events as they are recorded. The in-memory Log
+// is the retaining sink; WriterSink streams the text encoding without
+// retention; metrics.Accumulator summarizes without retention. Sinks
+// are driven from the single-threaded engine loop and need not be
+// safe for concurrent use.
+type Sink interface {
+	Append(Event)
+}
+
+// Discard is the sink that drops every event — the bounded-memory
+// choice when neither the log nor an encoded spill is wanted.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Append(Event) {}
+
+// Tee fans every event out to each sink in order. Nil entries are
+// skipped, so callers can pass optional sinks unconditionally.
+func Tee(sinks ...Sink) Sink {
+	var active multiSink
+	for _, s := range sinks {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	if len(active) == 1 {
+		return active[0]
+	}
+	return active
+}
+
+type multiSink []Sink
+
+func (m multiSink) Append(e Event) {
+	for _, s := range m {
+		s.Append(e)
+	}
+}
+
+// WriterSink encodes events to w as they arrive, in exactly the
+// format Log.Encode produces, so a spilled trace is byte-identical to
+// a retained log of the same events. Writes are buffered; call Flush
+// once the run is over. The first write error is latched and returned
+// by Flush — later Appends are dropped.
+type WriterSink struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriterSink returns a sink streaming the text encoding to w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{bw: bufio.NewWriter(w)}
+}
+
+// Append encodes one event.
+func (s *WriterSink) Append(e Event) {
+	if s.err == nil {
+		s.err = writeEvent(s.bw, e)
+	}
+}
+
+// Flush drains the buffer and reports the first error seen.
+func (s *WriterSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Log is an append-only sequence of events ordered by record time. It
+// implements Sink.
 type Log struct {
 	events []Event
 }
@@ -170,23 +241,30 @@ func (l *Log) Tasks() []string {
 func (l *Log) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range l.events {
-		task := e.Task
-		if task == "" {
-			task = "-"
-		}
-		if _, err := fmt.Fprintf(bw, "t=%d %s %s %d", int64(e.At), e.Kind, task, e.Job); err != nil {
-			return err
-		}
-		if e.Arg != 0 {
-			if _, err := fmt.Fprintf(bw, " arg=%d", e.Arg); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := writeEvent(bw, e); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeEvent emits one line of the text format — the single encoder
+// behind Log.Encode and WriterSink, so retained and streamed traces
+// are byte-identical.
+func writeEvent(bw *bufio.Writer, e Event) error {
+	task := e.Task
+	if task == "" {
+		task = "-"
+	}
+	if _, err := fmt.Fprintf(bw, "t=%d %s %s %d", int64(e.At), e.Kind, task, e.Job); err != nil {
+		return err
+	}
+	if e.Arg != 0 {
+		if _, err := fmt.Fprintf(bw, " arg=%d", e.Arg); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
 }
 
 // EncodeString returns the text encoding of the log.

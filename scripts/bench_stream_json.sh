@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench_stream_json.sh <bench.txt> <BENCH_stream.json>
+#
+# Extracts the BenchmarkCollectRetain10m / BenchmarkCollectStream10m
+# pair from `go test -bench . -benchmem` output into a JSON artefact
+# comparing the two collection modes: ns/op, B/op, allocs/op, the
+# derived per-job costs, and the retain/stream ratios. Fails when
+# either benchmark is missing so CI notices a silently skipped pair.
+set -euo pipefail
+
+in=${1:-bench.txt}
+out=${2:-BENCH_stream.json}
+
+awk '
+BEGIN { printf "[\n"; sep = "" }
+/^BenchmarkCollect(Retain|Stream)10m/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    delete v
+    for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
+    mode = (name ~ /Retain/) ? "retain" : "stream"
+    printf "%s  {\"benchmark\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"jobs\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"allocs_per_job\":%.3f,\"bytes_per_job\":%.3f}", \
+        sep, name, mode, v["ns/op"], v["jobs"], v["B/op"], v["allocs/op"], \
+        v["allocs/op"] / v["jobs"], v["B/op"] / v["jobs"]
+    sep = ",\n"
+    seen[mode] = 1
+    r[mode "_ns"] = v["ns/op"]; r[mode "_b"] = v["B/op"]; r[mode "_a"] = v["allocs/op"]
+}
+END {
+    if (!("retain" in seen) || !("stream" in seen)) {
+        print "bench_stream_json: BenchmarkCollectRetain10m/Stream10m missing from input" > "/dev/stderr"
+        exit 1
+    }
+    printf "%s  {\"benchmark\":\"retain_vs_stream\",\"ns_ratio\":%.3f,\"bytes_ratio\":%.3f,\"allocs_ratio\":%.3f}\n", \
+        sep, r["retain_ns"] / r["stream_ns"], r["retain_b"] / r["stream_b"], r["retain_a"] / r["stream_a"]
+    print "]"
+}
+' "$in" > "$out"
+
+echo "wrote $out:" >&2
+cat "$out" >&2

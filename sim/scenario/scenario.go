@@ -170,6 +170,25 @@ func (s Server) Server() *aperiodic.PollingServer {
 	return ps
 }
 
+// Collection modes accepted by the codec.
+const (
+	// CollectRetain keeps the full in-memory trace log and per-job
+	// records (the default when no collect block is declared).
+	CollectRetain = "retain"
+	// CollectStream bounds memory for long horizons: metrics are
+	// accumulated online, jobs are recycled, and the trace is spilled
+	// to a caller-provided sink or discarded.
+	CollectStream = "stream"
+)
+
+// Collect configures run-data retention. Declaring the block requires
+// an explicit mode — an empty or unknown mode is a validation error,
+// so a typo cannot silently run with unbounded memory.
+type Collect struct {
+	// Mode is "retain" or "stream".
+	Mode string `json:"mode"`
+}
+
 // Treatment names accepted by the codec (the vocabulary of cmd/rtrun
 // -treatment, with the paper's §4 long forms as aliases).
 var treatments = map[string]bool{
@@ -218,6 +237,16 @@ type Scenario struct {
 	// admission control — required for overload scenarios that are
 	// deliberately infeasible. Only valid with Treatment none.
 	SkipAdmission bool `json:"skip_admission,omitempty"`
+	// Collect selects run-data retention (nil = retain everything).
+	// Streaming collection cannot combine with servers: the aperiodic
+	// service analysis reads the retained log.
+	Collect *Collect `json:"collect,omitempty"`
+}
+
+// Streaming reports whether the scenario declares streaming
+// collection.
+func (sc *Scenario) Streaming() bool {
+	return sc.Collect != nil && sc.Collect.Mode == CollectStream
 }
 
 // Validate checks the scenario structurally: task-set invariants
@@ -253,6 +282,17 @@ func (sc *Scenario) Validate() error {
 	for i, srv := range sc.Servers {
 		if err := srv.Server().Validate(); err != nil {
 			return fmt.Errorf("scenario: server %d: %w", i, err)
+		}
+	}
+	if sc.Collect != nil {
+		switch sc.Collect.Mode {
+		case CollectRetain, CollectStream:
+		default:
+			return fmt.Errorf("scenario: unknown collect mode %q (want %q|%q)",
+				sc.Collect.Mode, CollectRetain, CollectStream)
+		}
+		if sc.Streaming() && len(sc.Servers) > 0 {
+			return fmt.Errorf("scenario: collect mode %q cannot combine with servers: aperiodic service analysis needs the retained log", CollectStream)
 		}
 	}
 	return nil

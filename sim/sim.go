@@ -52,6 +52,16 @@ type (
 	Request = scenario.Request
 	// Duration is a JSON-friendly vtime.Duration ("29ms").
 	Duration = scenario.Duration
+	// Collect declares the run-data retention mode.
+	Collect = scenario.Collect
+)
+
+// Collection modes, re-exported from sim/scenario.
+const (
+	// CollectRetain keeps the full log and per-job records (default).
+	CollectRetain = scenario.CollectRetain
+	// CollectStream accumulates metrics online with bounded memory.
+	CollectStream = scenario.CollectStream
 )
 
 // Fault kinds, re-exported from sim/scenario.
@@ -188,4 +198,16 @@ func WithSeed(seed uint64) Option {
 // valid with treatment none.
 func WithoutAdmission() Option {
 	return func(sc *Scenario) error { sc.SkipAdmission = true; return nil }
+}
+
+// WithCollection selects the run-data retention mode: CollectRetain
+// (the default — full log and per-job records) or CollectStream
+// (bounded memory for long horizons: online metrics accumulation, no
+// retained jobs or log; see System.SpillTrace for keeping the event
+// stream). Unknown modes fail validation.
+func WithCollection(mode string) Option {
+	return func(sc *Scenario) error {
+		sc.Collect = &scenario.Collect{Mode: mode}
+		return nil
+	}
 }

@@ -22,8 +22,16 @@ import (
 // System may be run repeatedly (every run is identical — all
 // randomness is seeded by the scenario).
 type System struct {
-	sc Scenario
+	sc    Scenario
+	spill io.Writer
 }
+
+// SpillTrace streams the trace's text encoding to w during the run —
+// the same bytes RunResult.WriteLog would produce afterwards. It is
+// how a streaming-collection run (WithCollection(CollectStream))
+// keeps its event stream without the in-memory log; on a retained run
+// it simply tees the log as it is recorded. Pass nil to disable.
+func (s *System) SpillTrace(w io.Writer) { s.spill = w }
 
 // FromScenario validates a declarative scenario into a System.
 func FromScenario(sc Scenario) (*System, error) {
@@ -41,9 +49,14 @@ func (s *System) Scenario() Scenario { return s.sc }
 type RunResult struct {
 	// Scenario echoes the spec that produced the run.
 	Scenario Scenario
-	// Log is the recorded time series (the paper's log file).
+	// Log is the recorded time series (the paper's log file). Empty
+	// under streaming collection — use System.SpillTrace to keep the
+	// stream, and Report (accumulated online) for the summaries.
 	Log *trace.Log
-	// Report summarizes jobs and tasks from the log.
+	// Report summarizes jobs and tasks. Retained runs reconstruct it
+	// from the log (per-job records included); streaming runs
+	// accumulate it online (task summaries and sketch-backed
+	// percentiles only — Report.Jobs is nil).
 	Report *metrics.Report
 	// Admission is the pre-run feasibility report (nil when the
 	// scenario skipped admission control).
@@ -130,8 +143,23 @@ func (s *System) Run() (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	collect := engine.Retain
+	if sc.Streaming() {
+		collect = engine.Stream
+	}
+	var spill *trace.WriterSink
+	var sink trace.Sink
+	if s.spill != nil {
+		spill = trace.NewWriterSink(s.spill)
+		sink = spill
+	}
 	res := &RunResult{Scenario: sc}
 	if sc.SkipAdmission {
+		var acc *metrics.Accumulator
+		if collect == engine.Stream {
+			acc = metrics.NewAccumulator()
+			sink = trace.Tee(acc, sink)
+		}
 		eng, err := engine.New(engine.Config{
 			Tasks:         set,
 			Faults:        plan,
@@ -141,12 +169,18 @@ func (s *System) Run() (*RunResult, error) {
 			StopJitterMax: sc.StopJitterMax.D(),
 			Seed:          sc.Seed,
 			ContextSwitch: sc.ContextSwitch.D(),
+			Collect:       collect,
+			Sink:          sink,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.Log = eng.Run()
-		res.Report = metrics.Analyze(res.Log)
+		if acc != nil {
+			res.Report = acc.Report()
+		} else {
+			res.Report = metrics.Analyze(res.Log)
+		}
 		res.Switches = eng.Switches()
 	} else {
 		sys, err := core.NewSystem(core.Config{
@@ -160,6 +194,8 @@ func (s *System) Run() (*RunResult, error) {
 			Seed:            sc.Seed,
 			ContextSwitch:   sc.ContextSwitch.D(),
 			Policy:          pol,
+			Collect:         collect,
+			TraceSink:       sink,
 		})
 		if err != nil {
 			return nil, err
@@ -174,6 +210,11 @@ func (s *System) Run() (*RunResult, error) {
 		res.Allowance = r.Allowance
 		res.Detections = r.Detections
 		res.Switches = r.Switches
+	}
+	if spill != nil {
+		if err := spill.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: spilling trace: %w", err)
+		}
 	}
 	if len(servers) > 0 {
 		res.Served = make(map[string][]aperiodic.Served, len(servers))
