@@ -23,6 +23,7 @@ bench:
 bench-json:
 	set -o pipefail; $(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./... | tee bench.txt
 	scripts/bench_stream_json.sh bench.txt BENCH_stream.json
+	scripts/bench_engine_json.sh bench.txt BENCH_engine.json
 
 fmt:
 	gofmt -w .

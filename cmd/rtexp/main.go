@@ -7,7 +7,7 @@
 //
 //	rtexp                 # run everything
 //	rtexp -list           # enumerate the experiment registry and exit
-//	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x4|x5|x9
+//	rtexp -exp fig5       # one artefact: table1|table2|table3|fig3..fig7|x1|x2|x3|x4|x5|x9|x10
 //	rtexp -svg charts/    # additionally write one SVG per figure
 //	rtexp -parallel 8     # shard sweep simulations over 8 workers
 //	rtexp -serial         # force the serial path (same output, one sim at a time)
@@ -20,7 +20,10 @@
 // are collected in input order and every simulation draws from its
 // own derived seed. Interrupting with ^C cancels the in-flight
 // sweep cleanly. x9 is a closed-form analysis, not a simulation
-// sweep; it runs inline and ignores the parallelism knobs.
+// sweep; it runs inline and ignores the parallelism knobs. x10
+// measures wall-clock engine throughput per point and therefore
+// always runs serially (parallel points would contend for the CPU
+// being measured).
 package main
 
 import (

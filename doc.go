@@ -91,6 +91,26 @@
 // bound, and the O(1) allocs-per-job steady state are pinned by
 // tests and by BenchmarkCollectRetain10m/BenchmarkCollectStream10m.
 //
+// # Typed event loop
+//
+// The engine's core loop dispatches typed, pointer-free event records
+// (release, deadline check, completion prediction) through a switch
+// instead of heap-allocated closures, so the steady-state loop
+// allocates nothing per event; only external timers — detectors,
+// supervisor stops, test hooks — carry a callback. Cancellation is
+// eager: the event heap tracks the position of every cancellable
+// entry, a job's deadline check is removed the instant the job
+// finishes, and the single completion prediction is rekeyed in place
+// at each dispatch, so the heap stays proportional to the live work
+// (pending jobs + one release per task + external timers) rather than
+// accumulating stale entries behind epoch guards. Dispatch pops the
+// next job from an incrementally maintained policy-ordered ready
+// queue — O(log tasks) per update — replacing the historical
+// O(tasks) scan, which makes hundreds-of-tasks systems a first-class
+// scenario dimension (the X10 sweep, rtexp -exp x10). Behavioural
+// equivalence with the pre-rework engine is pinned byte-for-byte by
+// the trace goldens under testdata/goldens.
+//
 // The benchmark harness in bench_test.go regenerates every published
 // artefact: go test -bench=. -benchmem.
 package repro

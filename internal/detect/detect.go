@@ -73,7 +73,10 @@ type Config struct {
 const DefaultTimerResolution = 10 * vtime.Millisecond
 
 // taskPlan is the per-task detection parameterization derived from
-// admission control.
+// admission control, plus the per-task runtime statistics. Keeping
+// the mutable counters here — one plan lookup per completion instead
+// of a map operation per counter — keeps the supervisor off the
+// engine's hot path.
 type taskPlan struct {
 	task taskset.Task
 	// wcrt is the nominal worst-case response time.
@@ -83,6 +86,18 @@ type taskPlan struct {
 	detectOffset vtime.Duration
 	// maxOverrun is the §4.3 single-task bound.
 	maxOverrun vtime.Duration
+
+	// faultyQ is the job index flagged by the detector's most recent
+	// detection, -1 while no flagged job is outstanding.
+	faultyQ int64
+	// maxExecuted is the largest CPU time any completed job actually
+	// consumed — the §7 cost under-run observation ("if the cost of a
+	// task can be underestimated, it is also possible to overestimate
+	// it").
+	maxExecuted vtime.Duration
+	// completedJobs counts completions, so reclamation only trusts
+	// tasks with evidence.
+	completedJobs int64
 }
 
 // Supervisor owns the detectors and treatments for one run. Build it
@@ -94,23 +109,8 @@ type Supervisor struct {
 	plans map[string]*taskPlan
 	set   *taskset.Set
 
-	// consumed tracks, per task, the response-time overrun beyond the
-	// nominal WCRT consumed by its most recent faulty job; the
-	// system-allowance grant to a newly faulty task subtracts the
-	// overruns of higher-priority tasks (paper §4.3).
-	consumed map[string]vtime.Duration
-	// faulty marks tasks whose current job was flagged by a detector.
-	faulty map[string]int64
 	// detections counts FaultDetected events.
 	detections int64
-	// maxExecuted tracks, per task, the largest CPU time any
-	// completed job actually consumed — the §7 cost under-run
-	// observation ("if the cost of a task can be underestimated, it
-	// is also possible to overestimate it").
-	maxExecuted map[string]vtime.Duration
-	// completedJobs counts completions per task, so reclamation only
-	// trusts tasks with evidence.
-	completedJobs map[string]int64
 }
 
 // NewSupervisor runs admission control on the set and derives every
@@ -130,14 +130,10 @@ func NewSupervisor(s *taskset.Set, cfg Config) (*Supervisor, error) {
 		return nil, err
 	}
 	sup := &Supervisor{
-		cfg:           cfg,
-		table:         tab,
-		plans:         make(map[string]*taskPlan, s.Len()),
-		set:           s.Clone(),
-		consumed:      make(map[string]vtime.Duration),
-		faulty:        make(map[string]int64),
-		maxExecuted:   make(map[string]vtime.Duration),
-		completedJobs: make(map[string]int64),
+		cfg:   cfg,
+		table: tab,
+		plans: make(map[string]*taskPlan, s.Len()),
+		set:   s.Clone(),
 	}
 	for i, t := range s.Tasks {
 		off := tab.WCRT[i]
@@ -151,6 +147,7 @@ func NewSupervisor(s *taskset.Set, cfg Config) (*Supervisor, error) {
 			wcrt:         tab.WCRT[i],
 			detectOffset: off.Ceil(cfg.TimerResolution),
 			maxOverrun:   tab.MaxOverrun[i],
+			faultyQ:      -1,
 		}
 	}
 	return sup, nil
@@ -187,39 +184,64 @@ func (s *Supervisor) Attach(e *engine.Engine) {
 // detector is periodic (one real-time timer per task, §3: "This
 // periodic approach enables us to avoid the creation of an instance
 // of a detector for each job"); we model it as a self-rescheduling
-// timer, which also supports dynamic task addition (§7).
+// timer, which also supports dynamic task addition (§7). The timer
+// state and its callback are allocated once per task and reused at
+// every re-arm, so a steady-state detector fire costs no allocation.
 func (s *Supervisor) scheduleDetector(e *engine.Engine, name string, q int64) {
-	p, ok := s.plans[name]
+	dt := &detectorTimer{s: s, e: e, name: name, tid: e.TaskID(name), q: q}
+	dt.fn = func(now vtime.Time) {
+		dt.s.fire(dt, now)
+		dt.q++
+		dt.arm()
+	}
+	dt.arm()
+}
+
+// detectorTimer is one task's periodic detector: a self-rescheduling
+// timer whose single closure survives across fires. tid caches the
+// engine's task handle so a fire resolves the checked job without a
+// name lookup.
+type detectorTimer struct {
+	s    *Supervisor
+	e    *engine.Engine
+	name string
+	tid  int
+	q    int64
+	fn   func(now vtime.Time)
+}
+
+// arm schedules the check of job q; a removed task (no plan) lets the
+// chain end.
+func (dt *detectorTimer) arm() {
+	p, ok := dt.s.plans[dt.name]
 	if !ok {
 		return
 	}
 	at := vtime.Time(p.task.Offset).
-		Add(vtime.Duration(q) * p.task.Period).
+		Add(vtime.Duration(dt.q) * p.task.Period).
 		Add(p.detectOffset)
-	e.ScheduleDetector(at, func(now vtime.Time) {
-		s.fire(e, name, q, now)
-		s.scheduleDetector(e, name, q+1)
-	})
+	dt.e.ScheduleDetector(at, dt.fn)
 }
 
 // fire is the detector body: check the job counter and finished flag
 // kept up to date by waitForNextPeriod (§3.1) and start a treatment
 // when the job is late.
-func (s *Supervisor) fire(e *engine.Engine, name string, q int64, now vtime.Time) {
+func (s *Supervisor) fire(dt *detectorTimer, now vtime.Time) {
+	e, name, q := dt.e, dt.name, dt.q
 	p, ok := s.plans[name]
 	if !ok {
 		return // task removed since the timer was armed
 	}
 	e.Record(trace.Event{At: now, Kind: trace.DetectorRelease, Task: name, Job: q})
-	j, exists := e.JobAt(name, q)
+	j, exists := e.JobAtID(dt.tid, q)
 	if !exists || j.Done() {
 		// Job finished in time (or was dropped): if it was flagged
-		// faulty by an earlier detector and completed since, its
-		// consumed overrun was recorded by observeCompletion.
+		// faulty by an earlier detector and completed since,
+		// ObserveCompletion already cleared the flag.
 		return
 	}
 	s.detections++
-	s.faulty[name] = q
+	p.faultyQ = q
 	e.Record(trace.Event{At: now, Kind: trace.FaultDetected, Task: name, Job: q})
 	switch s.cfg.Treatment {
 	case DetectOnly:
@@ -259,31 +281,24 @@ func (s *Supervisor) fire(e *engine.Engine, name string, q int64, now vtime.Time
 }
 
 // ObserveCompletion must be wired to the engine's OnFinish and
-// OnStopped hooks: it records how much overrun a faulty job actually
-// consumed (so later grants shrink accordingly) and maintains the §7
-// cost under-run statistics for every completed job.
+// OnStopped hooks: it clears the faulty flag once the flagged job
+// terminates (the paper's leftover redistribution is emergent in the
+// time domain, see the SystemAllowance case in fire) and maintains
+// the §7 cost under-run statistics for every completed job.
 func (s *Supervisor) ObserveCompletion(e *engine.Engine, j *engine.Job) {
-	name := j.TaskName()
+	p, ok := s.plans[j.TaskName()]
+	if !ok {
+		return
+	}
 	if !j.Stopped() {
-		s.completedJobs[name]++
-		if j.Executed > s.maxExecuted[name] {
-			s.maxExecuted[name] = j.Executed
+		p.completedJobs++
+		if j.Executed > p.maxExecuted {
+			p.maxExecuted = j.Executed
 		}
 	}
-	q, wasFaulty := s.faulty[name]
-	if !wasFaulty || q != j.Q {
-		return
+	if p.faultyQ == j.Q {
+		p.faultyQ = -1
 	}
-	delete(s.faulty, name)
-	p := s.plans[name]
-	if p == nil {
-		return
-	}
-	over := j.FinishedAt.Sub(j.Release) - p.wcrt
-	if over < 0 {
-		over = 0
-	}
-	s.consumed[name] = over
 }
 
 // Hooks returns engine hooks pre-wired to the supervisor. Compose
@@ -300,7 +315,11 @@ func (s *Supervisor) Hooks() engine.Hooks {
 // well under the declared cost is the paper's §7 cost under-run: the
 // declaration was pessimistic and resources can be reassigned.
 func (s *Supervisor) ObservedCost(task string) (vtime.Duration, int64) {
-	return s.maxExecuted[task], s.completedJobs[task]
+	p, ok := s.plans[task]
+	if !ok {
+		return 0, 0
+	}
+	return p.maxExecuted, p.completedJobs
 }
 
 // ReclaimTable recomputes the allowance analysis with every declared
@@ -311,10 +330,10 @@ func (s *Supervisor) ObservedCost(task string) (vtime.Duration, int64) {
 func (s *Supervisor) ReclaimTable(minJobs int64) (*allowance.Table, error) {
 	observed := s.set.Clone()
 	for i := range observed.Tasks {
-		name := observed.Tasks[i].Name
-		if s.completedJobs[name] >= minJobs && s.maxExecuted[name] > 0 &&
-			s.maxExecuted[name] < observed.Tasks[i].Cost {
-			observed.Tasks[i].Cost = s.maxExecuted[name]
+		p, ok := s.plans[observed.Tasks[i].Name]
+		if ok && p.completedJobs >= minJobs && p.maxExecuted > 0 &&
+			p.maxExecuted < observed.Tasks[i].Cost {
+			observed.Tasks[i].Cost = p.maxExecuted
 		}
 	}
 	return allowance.Compute(observed, s.cfg.Granularity)
@@ -369,8 +388,6 @@ func (s *Supervisor) RemoveTask(e *engine.Engine, name string) error {
 	e.RemoveTask(name, e.Now())
 	s.set.Tasks = append(s.set.Tasks[:idx], s.set.Tasks[idx+1:]...)
 	delete(s.plans, name)
-	delete(s.consumed, name)
-	delete(s.faulty, name)
 	tab, err := allowance.Compute(s.set, s.cfg.Granularity)
 	if err != nil {
 		return err
@@ -390,7 +407,7 @@ func (s *Supervisor) rebuildPlans() {
 		}
 		p, ok := s.plans[t.Name]
 		if !ok {
-			p = &taskPlan{}
+			p = &taskPlan{faultyQ: -1}
 			s.plans[t.Name] = p
 		}
 		p.task = t

@@ -9,10 +9,23 @@
 // The engine is event driven: job releases, deadline checks, timers
 // (used by the detectors of package detect) and predicted completions
 // are heap-ordered events; between events the running job consumes
-// CPU linearly. Stops follow the paper's §4.1 semantics: a task
-// cannot be killed, it polls a boolean between instructions, so a stop
-// request takes effect only at the job's next poll boundary, possibly
-// inflated by an unbounded-cost jitter term.
+// CPU linearly. The event loop is typed and allocation free in the
+// steady state: releases, deadline checks and the completion
+// prediction are fixed-size records dispatched through a switch, not
+// heap-allocated closures (only external timers — detectors, the
+// supervisor's allowance stops, test hooks — carry a callback).
+// Deadline and completion events are cancelled eagerly: the heap
+// tracks each cancellable event's position, a job's deadline check is
+// removed the moment the job finishes, and the single completion
+// prediction is updated in place at every dispatch, so the heap stays
+// proportional to the live work (pending jobs + one release per task
+// + external timers) instead of accumulating stale entries. Dispatch
+// picks the next job from an incrementally maintained policy-ordered
+// ready queue of task heads — O(log tasks) per update — rather than
+// scanning every task. Stops follow the paper's §4.1 semantics: a
+// task cannot be killed, it polls a boolean between instructions, so
+// a stop request takes effect only at the job's next poll boundary,
+// possibly inflated by an unbounded-cost jitter term.
 package engine
 
 import (
@@ -34,10 +47,11 @@ const (
 	// the in-memory log. Memory grows with the horizon.
 	Retain Collect = iota
 	// Stream bounds memory for long-horizon runs: finished Job
-	// records are released for collection as soon as they leave the
-	// pending queue, and events bypass the in-memory log, going only
-	// to Config.Sink (a metrics.Accumulator, a spill writer, or
-	// nothing). Jobs returns nil and JobAt resolves live jobs only.
+	// records are recycled through an internal pool as soon as they
+	// leave the pending queue, and events bypass the in-memory log,
+	// going only to Config.Sink (a metrics.Accumulator, a spill
+	// writer, or nothing). Jobs returns nil and JobAt resolves live
+	// jobs only.
 	Stream
 )
 
@@ -84,7 +98,9 @@ type Config struct {
 }
 
 // Hooks are observation points used by the fault-tolerance supervisor
-// and by tests.
+// and by tests. Under Stream collection the *Job passed to a hook is
+// recycled once the hook returns — read what you need, do not retain
+// the pointer.
 type Hooks struct {
 	// OnRelease fires after a job is released and admitted.
 	OnRelease func(e *Engine, j *Job)
@@ -103,7 +119,15 @@ type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Better reports whether job a should run in preference to b.
-	// It must be a strict weak ordering for determinism.
+	// It must be a strict weak ordering for determinism, and it must
+	// be a fixed function of each job's release-time fields (task,
+	// Q, Release, AbsDeadline, priority): the engine caches the
+	// order in an incrementally maintained ready heap that is only
+	// re-keyed when a task's head job changes, so an ordering that
+	// depends on mutable state (Executed, Remaining, stop limits)
+	// would dispatch from stale comparisons. Policies that need
+	// dynamic state act through Admit and StopJob instead, as the
+	// overload baselines do.
 	Better(a, b *Job) bool
 	// Admit is consulted at release; returning false drops the job
 	// (it is recorded as released, then immediately abandoned).
@@ -119,7 +143,11 @@ type FixedPriority struct{}
 func (FixedPriority) Name() string { return "fixed-priority" }
 
 // Better prefers the higher-priority task.
-func (FixedPriority) Better(a, b *Job) bool {
+func (FixedPriority) Better(a, b *Job) bool { return fpBetter(a, b) }
+
+// fpBetter is the fixed-priority order, shared with the ready queue's
+// interface-free fast path.
+func fpBetter(a, b *Job) bool {
 	if a.task.task.Priority != b.task.task.Priority {
 		return a.task.task.Priority > b.task.task.Priority
 	}
@@ -150,6 +178,8 @@ type Job struct {
 
 	overhead  vtime.Duration // charged context-switch cost
 	workLimit vtime.Duration // executed-work bound from a stop request
+	dlPos     int            // heap position of the deadline check (-1 = none)
+	slot      int32          // jobSlots index backing the deadline event
 	limited   bool
 	begun     bool
 	done      bool
@@ -205,54 +235,100 @@ func (j *Job) demand() vtime.Duration {
 
 // taskState is the runtime record of one task.
 type taskState struct {
-	task    taskset.Task
-	id      int
-	model   fault.Model
-	nextQ   int64
-	pending []*Job // released, unfinished jobs in FIFO order
+	task  taskset.Task
+	id    int
+	model fault.Model
+	nextQ int64
+	// pending[phead:] are the released, unfinished jobs in FIFO
+	// order; only the head can terminate (jobs of one task execute
+	// in release order — the RTSJ thread is sequential, a late job
+	// delays its successors, the arbitrary-deadline model). Consumed
+	// slots are nil'd and compacted amortizedly so the backing array
+	// stays proportional to the live backlog.
+	pending []*Job
+	phead   int
+	// rdPos is the task's position in the engine's ready queue
+	// (-1 when it has no live job).
+	rdPos   int
 	removed bool
 	// jobs retains every job for metrics (bounded by horizon/period).
-	// Left empty under Stream collection, where finished jobs must be
-	// collectible.
+	// Left empty under Stream collection, where finished jobs are
+	// recycled.
 	jobs []*Job
 }
 
-// head returns the task's earliest unfinished job, or nil. Jobs of
-// one task execute in release order: the RTSJ thread is sequential,
-// a late job delays its successors (the arbitrary-deadline model).
-// Consumed jobs are compacted out of the queue in place — re-slicing
-// the prefix away instead would pin the backing array and every
-// popped *Job for the run's lifetime.
+// live returns the number of released, unfinished jobs.
+func (ts *taskState) live() int { return len(ts.pending) - ts.phead }
+
+// head returns the task's earliest unfinished job, or nil.
 func (ts *taskState) head() *Job {
-	n := 0
-	for n < len(ts.pending) && ts.pending[n].done {
-		n++
+	if ts.phead < len(ts.pending) {
+		return ts.pending[ts.phead]
 	}
-	if n > 0 {
-		m := copy(ts.pending, ts.pending[n:])
-		for i := m; i < len(ts.pending); i++ {
-			ts.pending[i] = nil
-		}
-		ts.pending = ts.pending[:m]
-	}
-	if len(ts.pending) == 0 {
-		return nil
-	}
-	return ts.pending[0]
+	return nil
 }
 
-// event is a heap entry; fn runs with the clock advanced to at.
-// Events at the same instant run in class order, then insertion
-// order: completions and releases (classNormal) are observed before
-// detector checks (classDetector), which precede deadline checks
-// (classDeadline). A job finishing exactly at its WCRT is therefore
-// not flagged faulty, and a job finishing exactly at its deadline is
-// not a miss — both matching the paper's closed inequalities.
+// popFront consumes the head job. The vacated slot is nil'd at once
+// (so the record is collectible or poolable) and the consumed prefix
+// is compacted away once it dominates the array — re-slicing it off
+// instead would pin the backing array for the run's lifetime.
+func (ts *taskState) popFront() *Job {
+	j := ts.pending[ts.phead]
+	ts.pending[ts.phead] = nil
+	ts.phead++
+	if ts.phead == len(ts.pending) {
+		ts.pending = ts.pending[:0]
+		ts.phead = 0
+	} else if ts.phead >= 32 && ts.phead*2 >= len(ts.pending) {
+		n := copy(ts.pending, ts.pending[ts.phead:])
+		for i := n; i < len(ts.pending); i++ {
+			ts.pending[i] = nil
+		}
+		ts.pending = ts.pending[:n]
+		ts.phead = 0
+	}
+	return j
+}
+
+// eventKind discriminates the typed event records of the loop.
+type eventKind uint8
+
+const (
+	// evCallback runs an arbitrary function: detector timers,
+	// supervisor stop timers, test hooks. The only event kind that
+	// costs an allocation to schedule.
+	evCallback eventKind = iota
+	// evRelease activates task ts's next job and re-arms itself one
+	// period later.
+	evRelease
+	// evDeadline checks job at its absolute deadline; cancelled by
+	// removal the moment the job finishes earlier.
+	evDeadline
+	// evCompletion is the running job's predicted completion. At
+	// most one exists; reschedule updates it in place.
+	evCompletion
+)
+
+// event is a typed heap entry. Events at the same instant run in
+// class order, then insertion order: completions and releases
+// (classNormal) are observed before detector checks (classDetector),
+// which precede deadline checks (classDeadline). A job finishing
+// exactly at its WCRT is therefore not flagged faulty, and a job
+// finishing exactly at its deadline is not a miss — both matching the
+// paper's closed inequalities.
+//
+// The record is deliberately pointer free (24 bytes): arg is a handle
+// into a side table — the task index for releases, a job slot for
+// deadline checks, a callback slot for timers. Sift operations on a
+// pointer-bearing struct spend most of their time in GC write
+// barriers; with a flat record a swap is a plain copy and the event
+// heap never needs scanning.
 type event struct {
 	at    vtime.Time
-	class uint8
 	seq   uint64
-	fn    func(now vtime.Time)
+	arg   int32
+	class uint8
+	kind  eventKind
 }
 
 // Event classes, in same-instant execution order.
@@ -269,6 +345,7 @@ type Engine struct {
 	sink   trace.Sink // nil unless Config.Sink was set
 	stream bool       // Config.Collect == Stream
 	policy Policy
+	fpFast bool // policy is the built-in FixedPriority: skip interface calls
 	rng    *taskset.Rand
 
 	tasks  []*taskState
@@ -276,10 +353,33 @@ type Engine struct {
 
 	heap    []event
 	seq     uint64
+	cmplPos int // heap position of the completion prediction (-1 = none)
 	now     vtime.Time
 	running *Job
-	// epoch invalidates stale completion-recheck events.
-	epoch uint64
+
+	// jobSlots resolves a live deadline event's arg to its job; the
+	// slot is allocated at admission and freed when the deadline
+	// check fires or is cancelled.
+	jobSlots  []*Job
+	freeSlots []int32
+	// fns resolves a callback event's arg; one entry per in-flight
+	// timer, freed as the callback pops.
+	fns     []func(now vtime.Time)
+	freeFns []int32
+
+	// ready is a policy-ordered min-heap of the ids of tasks with at
+	// least one live job, keyed by their head job; ties break on task
+	// id so dispatch picks exactly the job the historical linear scan
+	// did.
+	ready []int32
+
+	// scratch backs ReadyJobs between events.
+	scratch []*Job
+	// pool recycles Job records under Stream collection.
+	pool []*Job
+	// arena hands out retained Job records in chunks under Retain
+	// collection (the records live for the whole run anyway).
+	arena []Job
 
 	switches int64 // dispatch switches, for the overhead sweep
 }
@@ -307,13 +407,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: Config.Log cannot combine with Stream collection (events go to Config.Sink)")
 	}
 	e := &Engine{
-		cfg:    cfg,
-		log:    cfg.Log,
-		sink:   cfg.Sink,
-		stream: cfg.Collect == Stream,
-		policy: cfg.Policy,
-		rng:    taskset.NewRand(cfg.Seed),
-		byName: make(map[string]*taskState, cfg.Tasks.Len()),
+		cfg:     cfg,
+		log:     cfg.Log,
+		sink:    cfg.Sink,
+		stream:  cfg.Collect == Stream,
+		policy:  cfg.Policy,
+		rng:     taskset.NewRand(cfg.Seed),
+		byName:  make(map[string]*taskState, cfg.Tasks.Len()),
+		cmplPos: -1,
 	}
 	if e.log == nil {
 		n := 4096
@@ -325,6 +426,7 @@ func New(cfg Config) (*Engine, error) {
 	if e.policy == nil {
 		e.policy = FixedPriority{}
 	}
+	_, e.fpFast = e.policy.(FixedPriority)
 	for _, t := range cfg.Tasks.Tasks {
 		e.addTaskState(t, cfg.Faults.For(t.Name))
 	}
@@ -332,14 +434,14 @@ func New(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) addTaskState(t taskset.Task, m fault.Model) *taskState {
-	ts := &taskState{task: t, id: len(e.tasks), model: m}
+	ts := &taskState{task: t, id: len(e.tasks), model: m, rdPos: -1}
 	e.tasks = append(e.tasks, ts)
 	e.byName[t.Name] = ts
 	first := vtime.Time(t.Offset)
 	if first < e.now {
 		first = e.now
 	}
-	e.Schedule(first, func(now vtime.Time) { e.release(ts, now) })
+	e.push(event{at: first, class: classNormal, kind: evRelease, arg: int32(ts.id)})
 	return ts
 }
 
@@ -382,12 +484,44 @@ func (e *Engine) scheduleClass(at vtime.Time, class uint8, fn func(now vtime.Tim
 	if at < e.now {
 		at = e.now
 	}
-	e.seq++
-	e.heap = append(e.heap, event{at: at, class: class, seq: e.seq, fn: fn})
-	e.up(len(e.heap) - 1)
+	var slot int32
+	if n := len(e.freeFns); n > 0 {
+		slot = e.freeFns[n-1]
+		e.freeFns = e.freeFns[:n-1]
+		e.fns[slot] = fn
+	} else {
+		slot = int32(len(e.fns))
+		e.fns = append(e.fns, fn)
+	}
+	e.push(event{at: at, class: class, kind: evCallback, arg: slot})
 }
 
-// heap primitives (min-heap on (at, class, seq)).
+// Event-heap primitives: a min-heap on (at, class, seq) that tracks
+// the positions of cancellable entries (deadline checks through
+// Job.dlPos, the completion prediction through Engine.cmplPos) so
+// they can be removed or rekeyed in O(log n) instead of lingering
+// until their instant passes.
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.placed(i)
+	e.up(i)
+}
+
+// placed records element i's new position in its owner's back-pointer.
+func (e *Engine) placed(i int) {
+	ev := &e.heap[i]
+	switch ev.kind {
+	case evDeadline:
+		e.jobSlots[ev.arg].dlPos = i
+	case evCompletion:
+		e.cmplPos = i
+	}
+}
+
 func (e *Engine) less(i, j int) bool {
 	if e.heap[i].at != e.heap[j].at {
 		return e.heap[i].at < e.heap[j].at
@@ -405,12 +539,17 @@ func (e *Engine) up(i int) {
 			break
 		}
 		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		e.placed(i)
+		e.placed(p)
 		i = p
 	}
 }
 
-func (e *Engine) down(i int) {
+// down sifts element i toward the leaves; it reports whether the
+// element moved, so fix-style callers can fall back to up.
+func (e *Engine) down(i int) bool {
 	n := len(e.heap)
+	start := i
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
@@ -421,11 +560,48 @@ func (e *Engine) down(i int) {
 			small = r
 		}
 		if small == i {
-			return
+			return i != start
 		}
 		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		e.placed(i)
+		e.placed(small)
 		i = small
 	}
+}
+
+// clearPos resets the back-pointer of the event at position i before
+// it leaves the heap.
+func (e *Engine) clearPos(i int) {
+	ev := &e.heap[i]
+	switch ev.kind {
+	case evDeadline:
+		e.jobSlots[ev.arg].dlPos = -1
+	case evCompletion:
+		e.cmplPos = -1
+	}
+}
+
+// removeAt cancels the event at heap position i.
+func (e *Engine) removeAt(i int) {
+	e.clearPos(i)
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.placed(i)
+	}
+	e.heap = e.heap[:last]
+	if i != last {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+// freeSlot releases a job's deadline-event slot once the event left
+// the heap.
+func (e *Engine) freeSlot(s int32) {
+	e.jobSlots[s] = nil
+	e.freeSlots = append(e.freeSlots, s)
 }
 
 func (e *Engine) pop() (event, bool) {
@@ -433,13 +609,38 @@ func (e *Engine) pop() (event, bool) {
 		return event{}, false
 	}
 	top := e.heap[0]
+	e.clearPos(0)
 	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
+	if last > 0 {
+		e.heap[0] = e.heap[last]
+		e.placed(0)
+	}
 	e.heap = e.heap[:last]
 	if last > 0 {
 		e.down(0)
 	}
 	return top, true
+}
+
+// setCompletion predicts the running job's completion at instant at,
+// updating the existing prediction in place when one is pending. The
+// refreshed seq keeps the historical ordering: the prediction always
+// ranks after every event scheduled before the current dispatch, as
+// it did when each dispatch pushed a fresh (then-newest) event.
+func (e *Engine) setCompletion(at vtime.Time) {
+	e.seq++
+	if i := e.cmplPos; i >= 0 {
+		e.heap[i].at = at
+		e.heap[i].seq = e.seq
+		if !e.down(i) {
+			e.up(i)
+		}
+		return
+	}
+	i := len(e.heap)
+	e.heap = append(e.heap, event{at: at, class: classNormal, kind: evCompletion, seq: e.seq})
+	e.placed(i)
+	e.up(i)
 }
 
 // Run executes the simulation to the horizon and returns the log.
@@ -450,7 +651,27 @@ func (e *Engine) Run() *trace.Log {
 			break
 		}
 		e.advance(ev.at)
-		ev.fn(ev.at)
+		switch ev.kind {
+		case evCallback:
+			fn := e.fns[ev.arg]
+			e.fns[ev.arg] = nil
+			e.freeFns = append(e.freeFns, ev.arg)
+			fn(ev.at)
+		case evRelease:
+			e.release(e.tasks[ev.arg], ev.at)
+		case evDeadline:
+			j := e.jobSlots[ev.arg]
+			e.freeSlot(ev.arg)
+			// Reached only while the job is unfinished — completion
+			// cancels the check — but stay defensive: a stale miss
+			// would corrupt the trace.
+			if !j.done {
+				j.missed = true
+				e.Record(trace.Event{At: ev.at, Kind: trace.DeadlineMiss, Task: j.task.task.Name, Job: j.Q})
+			}
+		case evCompletion:
+			// finishIfDone below observes the predicted completion.
+		}
 		e.finishIfDone(ev.at)
 		e.reschedule(ev.at)
 	}
@@ -476,6 +697,33 @@ func (e *Engine) advance(t vtime.Time) {
 	e.now = t
 }
 
+// newJob returns a Job record: recycled from the pool under Stream
+// collection, carved from a chunked arena under Retain (where every
+// record is retained to the end of the run regardless).
+func (e *Engine) newJob() *Job {
+	if e.stream {
+		if n := len(e.pool); n > 0 {
+			j := e.pool[n-1]
+			e.pool[n-1] = nil
+			e.pool = e.pool[:n-1]
+			return j
+		}
+		return &Job{}
+	}
+	if len(e.arena) == 0 {
+		e.arena = make([]Job, 256)
+	}
+	j := &e.arena[0]
+	e.arena = e.arena[1:]
+	return j
+}
+
+// recycle returns a terminated, fully dereferenced job to the pool.
+// Only called under Stream collection, where no history retains it.
+func (e *Engine) recycle(j *Job) {
+	e.pool = append(e.pool, j)
+}
+
 // release activates job nextQ of ts and schedules the following one.
 func (e *Engine) release(ts *taskState, now vtime.Time) {
 	if ts.removed {
@@ -483,17 +731,19 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 	}
 	q := ts.nextQ
 	ts.nextQ++
-	j := &Job{
+	j := e.newJob()
+	*j = Job{
 		task:        ts,
 		Q:           q,
 		Release:     now,
 		AbsDeadline: now.Add(ts.task.Deadline),
 		Actual:      ts.model.ActualCost(q, ts.task.Cost),
+		dlPos:       -1,
 	}
 	if !e.stream {
 		// Streaming keeps no per-job history: once a finished job
-		// leaves the pending queue, nothing but in-flight events
-		// (its deadline check, at the latest) reference it.
+		// leaves the pending queue, nothing references it and the
+		// record returns to the pool.
 		ts.jobs = append(ts.jobs, j)
 	}
 	e.Record(trace.Event{At: now, Kind: trace.JobRelease, Task: ts.task.Name, Job: q})
@@ -505,25 +755,38 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 		// A shed job terminates incomplete at its release: record it
 		// as stopped so trace-based metrics count the failure.
 		e.Record(trace.Event{At: now, Kind: trace.JobStopped, Task: ts.task.Name, Job: q})
+		if e.stream {
+			e.recycle(j)
+		}
 	} else {
+		wasIdle := ts.live() == 0
 		ts.pending = append(ts.pending, j)
-		// Deadline check: record a miss the instant the deadline
+		// Deadline check: records a miss the instant the deadline
 		// passes with the job unfinished, as the paper's charts do.
-		e.scheduleClass(j.AbsDeadline, classDeadline, func(at vtime.Time) {
-			if !j.done {
-				j.missed = true
-				e.Record(trace.Event{At: at, Kind: trace.DeadlineMiss, Task: ts.task.Name, Job: j.Q})
-			}
-		})
+		// finishIfDone cancels it when the job terminates earlier.
+		if n := len(e.freeSlots); n > 0 {
+			j.slot = e.freeSlots[n-1]
+			e.freeSlots = e.freeSlots[:n-1]
+			e.jobSlots[j.slot] = j
+		} else {
+			j.slot = int32(len(e.jobSlots))
+			e.jobSlots = append(e.jobSlots, j)
+		}
+		e.push(event{at: j.AbsDeadline, class: classDeadline, kind: evDeadline, arg: j.slot})
+		if wasIdle {
+			e.readyPush(ts)
+		}
 		if e.cfg.Hooks.OnRelease != nil {
 			e.cfg.Hooks.OnRelease(e, j)
 		}
 	}
-	e.Schedule(now.Add(ts.task.Period), func(at vtime.Time) { e.release(ts, at) })
+	e.push(event{at: now.Add(ts.task.Period), class: classNormal, kind: evRelease, arg: int32(ts.id)})
 }
 
 // finishIfDone terminates the running job once it has consumed its
-// effective demand.
+// effective demand: it cancels the pending deadline check, consumes
+// the job from its task's queue, rekeys the ready queue, and (under
+// Stream collection) recycles the record after the hooks ran.
 func (e *Engine) finishIfDone(now vtime.Time) {
 	j := e.running
 	if j == nil || j.done || j.Executed < j.demand() {
@@ -531,6 +794,20 @@ func (e *Engine) finishIfDone(now vtime.Time) {
 	}
 	j.done = true
 	j.FinishedAt = now
+	if j.dlPos >= 0 {
+		e.removeAt(j.dlPos)
+		e.freeSlot(j.slot)
+	}
+	ts := j.task
+	if ts.head() != j {
+		panic(fmt.Sprintf("engine: finished job %s#%d is not its task's head", j.TaskName(), j.Q))
+	}
+	ts.popFront()
+	if ts.live() > 0 {
+		e.readyFix(ts)
+	} else {
+		e.readyRemove(ts)
+	}
 	if j.limited && j.Actual+j.overhead > j.workLimit {
 		j.stopped = true
 		e.Record(trace.Event{At: now, Kind: trace.JobStopped, Task: j.TaskName(), Job: j.Q})
@@ -544,11 +821,17 @@ func (e *Engine) finishIfDone(now vtime.Time) {
 		}
 	}
 	e.running = nil
+	if e.stream {
+		e.recycle(j)
+	}
 }
 
 // reschedule dispatches the best ready job and predicts completion.
 func (e *Engine) reschedule(now vtime.Time) {
-	best := e.bestReady()
+	var best *Job
+	if len(e.ready) > 0 {
+		best = e.tasks[e.ready[0]].head()
+	}
 	if best != e.running {
 		if e.running != nil && !e.running.done {
 			e.Record(trace.Event{At: now, Kind: trace.JobPreempt, Task: e.running.TaskName(), Job: e.running.Q})
@@ -568,49 +851,151 @@ func (e *Engine) reschedule(now vtime.Time) {
 		e.running = best
 	}
 	if e.running != nil {
-		j := e.running
-		e.epoch++
-		epoch := e.epoch
-		done := now.Add(j.Remaining())
-		e.Schedule(done, func(at vtime.Time) {
-			// Stale if any dispatch happened since; a fresh event
-			// exists in that case.
-			if e.epoch == epoch {
-				e.finishIfDone(at)
-			}
-		})
+		e.setCompletion(now.Add(e.running.Remaining()))
+	} else if e.cmplPos >= 0 {
+		e.removeAt(e.cmplPos)
 	}
 }
 
-// bestReady scans the heads of all task queues under the policy.
-func (e *Engine) bestReady() *Job {
-	var best *Job
-	for _, ts := range e.tasks {
-		h := ts.head()
-		if h == nil {
-			continue
+// Ready-queue primitives: a min-heap of task ids keyed by each
+// task's head job under the policy order, with ties broken by task
+// id — exactly the job the historical linear scan over task heads
+// selected. Entries are plain ints so sifts stay barrier free.
+
+// readyLess orders tasks a and b by their head jobs.
+func (e *Engine) readyLess(a, b int32) bool {
+	ta, tb := e.tasks[a], e.tasks[b]
+	ha, hb := ta.pending[ta.phead], tb.pending[tb.phead]
+	if e.fpFast {
+		return fpBetter(ha, hb) // total order: id tie-break built in
+	}
+	if e.policy.Better(ha, hb) {
+		return true
+	}
+	if e.policy.Better(hb, ha) {
+		return false
+	}
+	return a < b
+}
+
+func (e *Engine) readyPush(ts *taskState) {
+	ts.rdPos = len(e.ready)
+	e.ready = append(e.ready, int32(ts.id))
+	e.readyUp(ts.rdPos)
+}
+
+func (e *Engine) readyUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.readyLess(e.ready[i], e.ready[p]) {
+			break
 		}
-		if best == nil || e.policy.Better(h, best) {
-			best = h
+		e.ready[i], e.ready[p] = e.ready[p], e.ready[i]
+		e.tasks[e.ready[i]].rdPos = i
+		e.tasks[e.ready[p]].rdPos = p
+		i = p
+	}
+}
+
+func (e *Engine) readyDown(i int) bool {
+	n := len(e.ready)
+	start := i
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.readyLess(e.ready[l], e.ready[small]) {
+			small = l
+		}
+		if r < n && e.readyLess(e.ready[r], e.ready[small]) {
+			small = r
+		}
+		if small == i {
+			return i != start
+		}
+		e.ready[i], e.ready[small] = e.ready[small], e.ready[i]
+		e.tasks[e.ready[i]].rdPos = i
+		e.tasks[e.ready[small]].rdPos = small
+		i = small
+	}
+}
+
+// readyFix restores ts's heap position after its head job changed.
+func (e *Engine) readyFix(ts *taskState) {
+	if i := ts.rdPos; i >= 0 {
+		if !e.readyDown(i) {
+			e.readyUp(i)
 		}
 	}
-	return best
+}
+
+func (e *Engine) readyRemove(ts *taskState) {
+	i := ts.rdPos
+	if i < 0 {
+		return
+	}
+	ts.rdPos = -1
+	last := len(e.ready) - 1
+	if i != last {
+		e.ready[i] = e.ready[last]
+		e.tasks[e.ready[i]].rdPos = i
+	}
+	e.ready = e.ready[:last]
+	if i != last {
+		if !e.readyDown(i) {
+			e.readyUp(i)
+		}
+	}
 }
 
 // JobAt returns task's job q and whether it exists. Under Stream
-// collection only live (released, not yet consumed) jobs resolve;
-// callers — the detectors, D-over's watchdog — already treat a
-// missing job the same as a finished one.
+// collection only live (released, unfinished) jobs resolve — a binary
+// search over the release-ordered pending queue; callers — the
+// detectors, D-over's watchdog — already treat a missing job the same
+// as a finished one.
 func (e *Engine) JobAt(task string, q int64) (*Job, bool) {
 	ts, ok := e.byName[task]
-	if !ok || q < 0 {
+	if !ok {
+		return nil, false
+	}
+	return e.jobAt(ts, q)
+}
+
+// TaskID returns the dense index the engine assigned to the task
+// (-1 if unknown): a stable handle for hot-path queries through
+// JobAtID that skips the name lookup.
+func (e *Engine) TaskID(task string) int {
+	if ts, ok := e.byName[task]; ok {
+		return ts.id
+	}
+	return -1
+}
+
+// JobAtID is JobAt addressed by a TaskID handle.
+func (e *Engine) JobAtID(id int, q int64) (*Job, bool) {
+	if id < 0 || id >= len(e.tasks) {
+		return nil, false
+	}
+	return e.jobAt(e.tasks[id], q)
+}
+
+func (e *Engine) jobAt(ts *taskState, q int64) (*Job, bool) {
+	if q < 0 {
 		return nil, false
 	}
 	if e.stream {
-		for _, j := range ts.pending {
-			if j.Q == q {
-				return j, true
+		// pending[phead:] is strictly increasing in Q (dropped jobs
+		// leave gaps, so index arithmetic alone cannot address it).
+		lo, hi := ts.phead, len(ts.pending)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ts.pending[mid].Q < q {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
+		}
+		if lo < len(ts.pending) && ts.pending[lo].Q == q {
+			return ts.pending[lo], true
 		}
 		return nil, false
 	}
@@ -641,14 +1026,19 @@ func (e *Engine) TaskNames() []string {
 }
 
 // ReadyJobs snapshots the current heads of all task queues (the jobs
-// competing for the CPU), for value-based policies.
+// competing for the CPU) in task-definition order, for value-based
+// policies. The returned slice is backed by an engine-owned scratch
+// buffer: it is valid until the next ReadyJobs call and must not be
+// retained across events (the value policies consume it within one
+// Admit or watchdog callback).
 func (e *Engine) ReadyJobs() []*Job {
-	var out []*Job
+	out := e.scratch[:0]
 	for _, ts := range e.tasks {
 		if h := ts.head(); h != nil {
 			out = append(out, h)
 		}
 	}
+	e.scratch = out
 	return out
 }
 

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestStreamSteadyStateAllocFree pins the typed event loop's central
+// property: once warm, a streaming run allocates nothing per event.
+// Two identical configurations differing only in horizon are measured
+// with testing.AllocsPerRun; the longer run simulates 50 extra
+// virtual seconds (thousands of events — releases, completions,
+// deadline checks, preemptions, stop-limited jobs through the fault
+// plan) and must not allocate more than a fixed handful beyond the
+// shorter one (slice-capacity settling), i.e. ~0 allocs/event.
+func TestStreamSteadyStateAllocFree(t *testing.T) {
+	perHorizon := func(end vtime.Time) float64 {
+		return testing.AllocsPerRun(5, func() {
+			e, err := New(Config{
+				Tasks:   table2WithOffset(),
+				Faults:  fault.Plan{"tau1": fault.OverrunEvery{First: 1, K: 3, Extra: ms(45)}},
+				End:     end,
+				Collect: Stream,
+				Sink:    trace.Discard,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run()
+		})
+	}
+	short := perHorizon(at(10_000))
+	long := perHorizon(at(60_000))
+	// ~50 s × ~45 events/s ≈ 2250 extra events; allow a few allocs of
+	// slack for amortized container growth crossing the boundary.
+	const slack = 8
+	if long > short+slack {
+		t.Errorf("steady state allocates: %.0f allocs at 10s vs %.0f at 60s (+%.2f per extra event)",
+			short, long, (long-short)/2250)
+	}
+}
+
+// TestHeapBoundedByLiveWork pins the cancellation rework: after a
+// long soak the event heap holds only live entries — one deadline
+// check per pending job, one release per task, at most one completion
+// prediction — instead of growing with stale epoch-guarded events.
+func TestHeapBoundedByLiveWork(t *testing.T) {
+	e, _ := run(t, Config{
+		Tasks:  table2WithOffset(),
+		Faults: fault.Plan{"tau1": fault.OverrunEvery{First: 0, K: 2, Extra: ms(45)}},
+		End:    at(120_000),
+	})
+	live := 0
+	for _, ts := range e.tasks {
+		live += ts.live()
+	}
+	bound := live + len(e.tasks) + 1
+	if len(e.heap) > bound {
+		t.Errorf("heap holds %d events after the soak, want <= %d (%d live jobs + %d release timers + 1 completion)",
+			len(e.heap), bound, live, len(e.tasks))
+	}
+	// The deadline-slot table is recycled alongside: it must be
+	// bounded by the peak backlog, not the number of released jobs.
+	if len(e.jobSlots) > 64 {
+		t.Errorf("jobSlots grew to %d entries over %d releases", len(e.jobSlots), e.tasks[0].nextQ)
+	}
+}
+
+// TestReadyJobsReusesScratch: ReadyJobs must not allocate per call —
+// the value policies invoke it on every release and watchdog check.
+func TestReadyJobsReusesScratch(t *testing.T) {
+	e, err := New(Config{Tasks: table2WithOffset(), End: at(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at 50 ms: tau1 and tau2 have live head jobs then.
+	var allocs float64
+	e.Schedule(at(50), func(now vtime.Time) {
+		first := e.ReadyJobs()
+		if len(first) == 0 {
+			t.Fatal("no ready jobs at 50ms")
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			if len(e.ReadyJobs()) != len(first) {
+				t.Fatal("ready set changed between calls")
+			}
+		})
+	})
+	e.Run()
+	if allocs != 0 {
+		t.Errorf("ReadyJobs allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestJobAtStreamBinarySearch: under Stream, JobAt must resolve any
+// live job of a deep backlog (and reject absent indices) — the
+// indexed replacement for the linear pending scan.
+func TestJobAtStreamBinarySearch(t *testing.T) {
+	// An overloaded low-priority task accumulates a long backlog.
+	set := taskset.MustNew(
+		taskset.Task{Name: "hog", Priority: 10, Period: ms(10), Deadline: ms(10), Cost: ms(9)},
+		taskset.Task{Name: "bg", Priority: 5, Period: ms(30), Deadline: ms(3000), Cost: ms(20)},
+	)
+	e, err := New(Config{Tasks: set, End: at(3000), Collect: Stream, Sink: trace.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := false
+	e.Schedule(at(2900), func(now vtime.Time) {
+		ts := e.byName["bg"]
+		if ts.live() < 10 {
+			t.Fatalf("backlog too small for the test: %d", ts.live())
+		}
+		lo, hi := ts.head().Q, ts.pending[len(ts.pending)-1].Q
+		for q := lo; q <= hi; q++ {
+			j, ok := e.JobAt("bg", q)
+			if !ok || j.Q != q {
+				t.Fatalf("live job bg#%d not resolved (ok=%v)", q, ok)
+			}
+		}
+		if _, ok := e.JobAt("bg", lo-1); lo > 0 && ok {
+			t.Error("consumed job must not resolve under Stream")
+		}
+		if _, ok := e.JobAt("bg", hi+1); ok {
+			t.Error("unreleased job must not resolve")
+		}
+		checked = true
+	})
+	e.Run()
+	if !checked {
+		t.Fatal("backlog check never ran")
+	}
+}

@@ -95,28 +95,43 @@ func TestPendingQueueCompacts(t *testing.T) {
 	}
 }
 
-// TestPendingPrefixNiledOut: the compaction clears the vacated slots
-// so finished jobs are collectible even while the array is reused.
+// TestPendingPrefixNiledOut: consuming the head nils the vacated slot
+// at once (so finished jobs are collectible or poolable while the
+// array is reused) and the consumed prefix is compacted away once it
+// dominates the array.
 func TestPendingPrefixNiledOut(t *testing.T) {
 	ts := &taskState{task: taskset.Task{Name: "x"}}
-	jobs := make([]*Job, 5)
+	jobs := make([]*Job, 100)
 	for i := range jobs {
-		jobs[i] = &Job{task: ts, Q: int64(i), done: i < 3}
+		jobs[i] = &Job{task: ts, Q: int64(i)}
 	}
-	ts.pending = jobs
-	j3 := jobs[3] // the compaction moves and nils slots in place
-	h := ts.head()
-	if h != j3 {
+	ts.pending = append([]*Job(nil), jobs...)
+	for i := 0; i < 3; i++ {
+		if got := ts.popFront(); got != jobs[i] {
+			t.Fatalf("popFront #%d = %v, want job %d", i, got, i)
+		}
+	}
+	if h := ts.head(); h != jobs[3] {
 		t.Fatalf("head = %v, want job 3", h)
 	}
-	if len(ts.pending) != 2 {
-		t.Fatalf("pending len = %d, want 2", len(ts.pending))
+	if ts.live() != 97 {
+		t.Fatalf("live = %d, want 97", ts.live())
 	}
-	full := ts.pending[:cap(ts.pending)]
-	for i := len(ts.pending); i < len(full); i++ {
-		if full[i] != nil {
+	for i := 0; i < ts.phead; i++ {
+		if ts.pending[i] != nil {
 			t.Errorf("vacated slot %d still references a job", i)
 		}
+	}
+	// Consuming most of the queue triggers the in-place compaction:
+	// the prefix must not keep growing with the consumption count.
+	for ts.live() > 10 {
+		ts.popFront()
+	}
+	if ts.phead >= 64 {
+		t.Errorf("consumed prefix (%d slots) was never compacted", ts.phead)
+	}
+	if h := ts.head(); h == nil || h.Q != 90 {
+		t.Fatalf("head after compaction = %+v, want Q=90", h)
 	}
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench_engine_json.sh <bench.txt> <BENCH_engine.json>
+#
+# Extracts the engine-substrate benchmarks from `go test -bench .
+# -benchmem` output into a JSON artefact: the throughput pair
+# (BenchmarkEngineThroughput streaming / ...Retain) with events/sec,
+# B/op and allocs/op, the BenchmarkEngineScaling/tasks=N task-count
+# series, and the derived sub-linearity ratio — per-event cost at the
+# largest size over the smallest, next to the task-count ratio it
+# should stay far below. Fails when either benchmark family is
+# missing so CI notices a silently skipped run.
+set -euo pipefail
+
+in=${1:-bench.txt}
+out=${2:-BENCH_engine.json}
+
+awk '
+function val(k) { return (k in v) ? v[k] : "null" }
+BEGIN { printf "[\n"; sep = "" }
+/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineScaling\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    delete v
+    for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
+    if (name ~ /^BenchmarkEngineScaling\//) {
+        tasks = name; sub(/^BenchmarkEngineScaling\/tasks=/, "", tasks)
+        printf "%s  {\"benchmark\":\"%s\",\"tasks\":%s,\"events\":%s,\"switches\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+            sep, name, tasks, val("events"), val("switches"), val("events_per_sec"), val("B/op"), val("allocs/op")
+        if (v["events_per_sec"] > 0) {
+            ns = 1e9 / v["events_per_sec"]
+            if (mintasks == 0 || tasks + 0 < mintasks) { mintasks = tasks; minns = ns }
+            if (tasks + 0 > maxtasks) { maxtasks = tasks; maxns = ns }
+        }
+        scaling = 1
+    } else {
+        mode = (name ~ /Retain$/) ? "retain" : "stream"
+        printf "%s  {\"benchmark\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+            sep, name, mode, val("ns/op"), val("trace_events"), val("events_per_sec"), val("B/op"), val("allocs/op")
+        seen[mode] = 1
+    }
+    sep = ",\n"
+}
+END {
+    if (!("stream" in seen) || !scaling) {
+        print "bench_engine_json: BenchmarkEngineThroughput / BenchmarkEngineScaling missing from input" > "/dev/stderr"
+        exit 1
+    }
+    if (maxns > 0 && minns > 0) {
+        printf "%s  {\"benchmark\":\"scaling_sublinearity\",\"tasks_ratio\":%.1f,\"ns_per_event_ratio\":%.3f,\"ns_per_event_min_tasks\":%.1f,\"ns_per_event_max_tasks\":%.1f}\n", \
+            sep, maxtasks / mintasks, maxns / minns, minns, maxns
+    } else {
+        printf "\n"
+    }
+    print "]"
+}
+' "$in" > "$out"
+
+echo "wrote $out:" >&2
+cat "$out" >&2

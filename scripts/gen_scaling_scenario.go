@@ -1,0 +1,55 @@
+//go:build ignore
+
+// gen_scaling_scenario regenerates testdata/scenarios/scaling-100.json:
+// the X10 sweep's 100-task synthetic system (see
+// experiments.ScalingSet) baked into a declarative scenario, so the
+// scenario tooling — rtrun -scenario, the trace-golden harness, the
+// round-trip tests — exercises a large system, not just the paper's
+// three tasks. Run from the repository root:
+//
+//	go run scripts/gen_scaling_scenario.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/vtime"
+	"repro/sim/scenario"
+)
+
+func main() {
+	set, err := experiments.ScalingSet(100, experiments.ScalingSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sc := scenario.Scenario{
+		Name: "scaling-100",
+		Description: "X10 large-system scenario: the sweep's generator-backed 100-task set " +
+			"(UUniFast U=0.6, log-uniform periods, rate-monotonic priorities) under streaming " +
+			"collection; admission control skipped — this scenario exercises the engine substrate",
+		Horizon:       scenario.Duration(10 * vtime.Second),
+		SkipAdmission: true,
+		Collect:       &scenario.Collect{Mode: scenario.CollectStream},
+	}
+	for _, t := range set.Tasks {
+		sc.Tasks = append(sc.Tasks, scenario.FromTask(t))
+	}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create("testdata/scenarios/scaling-100.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := scenario.Encode(f, &sc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote testdata/scenarios/scaling-100.json")
+}

@@ -115,4 +115,14 @@ func init() {
 			}
 			return Result{Data: points, Text: experiments.RenderBaselines(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x10",
+		"X10 — engine events/sec and switches vs task count (10..500 tasks, 60s horizon)",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := experiments.TaskScalingSweepCtx(ctx,
+				experiments.ScalingSizes, experiments.ScalingHorizon, opt.internal())
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: experiments.RenderScaling(points)}, nil
+		}))
 }
