@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail in bench-json.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-json fmt vet fmt-check ci
+.PHONY: build test race bench bench-json fmt vet fmt-check x11 fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,17 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench
+# The X11 differential invariant sweep: 60 fixed-seed fuzzed
+# scenarios, each run under the online invariant oracle in every
+# legal collection mode, retained vs streamed reports cross-checked.
+# Fails (after shrinking a reproducer into testdata/shrunk/) on any
+# violation.
+x11:
+	$(GO) run ./cmd/rtexp -exp x11 > /dev/null
+
+# Short native-fuzz smoke over the scenario space and the log codec.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime 10s ./internal/verify/gen
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/trace
+
+ci: build vet fmt-check race bench x11

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	rtrun -tasks system.tasks [-treatment stop] [-horizon 3000]
-//	      [-fault tau1:5:40] [-resolution 10] [-o run.log]
-//	rtrun -scenario scenario.json [-o run.log]
+//	      [-fault tau1:5:40] [-resolution 10] [-o run.log] [-check]
+//	rtrun -scenario scenario.json [-o run.log] [-check]
 //	rtrun -tasks system.tasks -horizon 3600000 -stream [-trace-out run.log]
 //
 // The -fault flag injects a cost overrun (task:job:extraMS) like the
@@ -24,6 +24,12 @@
 // stdout) — the spilled bytes are identical to the -o log of the same
 // retained run. In a scenario file the equivalent is the
 // {"collect": {"mode": "stream"}} block.
+//
+// -check arms the online invariant oracle: the run's events are
+// validated against the scheduling axioms (see internal/verify) as
+// they are recorded, in either collection mode, and the command exits
+// non-zero listing the violations if any axiom breaks. The scenario
+// file equivalent is "verify": true.
 package main
 
 import (
@@ -57,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		summary    = fs.Bool("summary", true, "print the per-task summary to stderr")
 		stream     = fs.Bool("stream", false, "streaming collection: bounded memory, no retained log (long horizons)")
 		traceOut   = fs.String("trace-out", "", "stream the trace to this file during the run ('-' for stdout; needs streaming collection)")
+		check      = fs.Bool("check", false, "verify the run against the scheduling invariants (online oracle); exit non-zero on any violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,6 +122,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if *check {
+		// -check composes with both front doors: it arms the oracle on
+		// top of whatever the flags or the scenario file declared
+		// (a scenario's own "verify": true stays armed either way).
+		sys.SetVerify(true)
 	}
 	sc := sys.Scenario()
 	streaming := sc.Streaming()

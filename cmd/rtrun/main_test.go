@@ -238,3 +238,38 @@ func TestScenarioStreamingCollectBlock(t *testing.T) {
 		t.Fatal("empty spilled trace")
 	}
 }
+
+// TestCheckFlag: -check arms the invariant oracle on both front
+// doors; clean runs still exit 0 with identical logs.
+func TestCheckFlag(t *testing.T) {
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	var plain, checked, stderr bytes.Buffer
+	if code := run([]string{"-scenario", scen}, &plain, &stderr); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-scenario", scen, "-check"}, &checked, &stderr); code != 0 {
+		t.Fatalf("checked run exited %d: %s", code, stderr.String())
+	}
+	if plain.String() != checked.String() {
+		t.Error("-check changed the emitted log")
+	}
+	stderr.Reset()
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	var out bytes.Buffer
+	if code := run([]string{
+		"-tasks", tasks, "-treatment", "stop", "-horizon", "1500",
+		"-fault", "tau1:5:40", "-resolution", "10", "-check",
+	}, &out, &stderr); code != 0 {
+		t.Fatalf("legacy -check run exited %d: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	out.Reset()
+	// -check composes with streaming collection too (the oracle is a
+	// sink, not a log consumer).
+	if code := run([]string{
+		"-tasks", tasks, "-horizon", "1500", "-stream", "-check",
+	}, &out, &stderr); code != 0 {
+		t.Fatalf("streaming -check run exited %d: %s", code, stderr.String())
+	}
+}

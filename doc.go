@@ -28,6 +28,8 @@
 //   - internal/baselines — best-effort/RED/D-over comparators
 //   - internal/experiments — one constructor per table and figure
 //   - internal/runner — the parallel experiment-execution substrate
+//   - internal/verify — the online invariant oracle (+ gen, the
+//     scenario fuzzer and shrinker)
 //   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp — tools
 //   - examples/ — runnable walkthroughs (examples/scenario shows
 //     the sim facade end to end)
@@ -110,6 +112,28 @@
 // scenario dimension (the X10 sweep, rtexp -exp x10). Behavioural
 // equivalence with the pre-rework engine is pinned byte-for-byte by
 // the trace goldens under testdata/goldens.
+//
+// # Verification
+//
+// Beyond the byte-pinned goldens, internal/verify is an online
+// invariant oracle: a trace.Sink that checks every recorded event
+// against the scheduling axioms — monotone timestamps, single-CPU
+// occupancy, strictly periodic releases resolved by their deadlines,
+// policy-consistent dispatch order (fixed-priority exact, the EDF
+// family via recomputed keys), detector fires at the paper's
+// latest-detection bound, per-task conservation, and server budgets.
+// Arm it with core.Config.Verify, sim.WithVerify, the scenario
+// "verify": true, or rtrun -check; a violation fails the run with a
+// *verify.Error naming each breach. internal/verify/gen fuzzes the
+// scenario space (seeded UUniFast task sets × fault chains × policies
+// × servers × collection modes) and shrinks a failing scenario to a
+// minimal reproducer under testdata/shrunk. The x11 registry entry
+// (rtexp -exp x11, run by make ci) sweeps 60 generated scenarios
+// through the oracle in both collection modes and cross-checks the
+// retained and streamed reports; go test -fuzz=FuzzScenario
+// ./internal/verify/gen explores open-endedly, and the goldens
+// themselves are replayed through the oracle so they stay valid
+// semantically as well as byte-wise.
 //
 // The benchmark harness in bench_test.go regenerates every published
 // artefact: go test -bench=. -benchmem.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/taskset"
 	"repro/internal/trace"
+	"repro/internal/verify"
 	"repro/internal/vtime"
 )
 
@@ -58,6 +59,16 @@ type Config struct {
 	// Stream (spill-to-disk via trace.NewWriterSink; the caller
 	// flushes after Run).
 	TraceSink trace.Sink
+	// Verify enables the online invariant oracle (package verify):
+	// every trace event is checked against the scheduling axioms as
+	// it is recorded — in Retain and Stream collection alike — and
+	// Run fails with a wrapped *verify.Error on any violation.
+	Verify bool
+	// VerifyServerBudgets optionally maps polling-server task names
+	// to their per-job capacity for the oracle's budget axiom (the
+	// sim facade fills it; core itself has no server notion). Only
+	// meaningful with Verify.
+	VerifyServerBudgets map[string]vtime.Duration
 }
 
 // Result is the outcome of a run.
@@ -116,6 +127,15 @@ func NewSystem(cfg Config) (*System, error) {
 	return &System{cfg: cfg, sup: sup}, nil
 }
 
+// policyName resolves the configured policy's registry name (nil
+// means the default fixed-priority scheduler).
+func (s *System) policyName() string {
+	if s.cfg.Policy == nil {
+		return engine.FixedPriority{}.Name()
+	}
+	return s.cfg.Policy.Name()
+}
+
 // Admission returns the pre-run feasibility report.
 func (s *System) Admission() *analysis.Report {
 	if s.adm == nil {
@@ -149,6 +169,36 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		acc = metrics.NewAccumulator()
 		sink = trace.Tee(acc, sink)
 	}
+	// Oracle arming for admitted systems; the bare-engine twin (no
+	// supervisor, hence no detector offsets) lives in sim.System.Run's
+	// SkipAdmission branch — change both together.
+	var chk *verify.Checker
+	if s.cfg.Verify {
+		vcfg := verify.Config{
+			Tasks:         s.cfg.Tasks,
+			Policy:        s.policyName(),
+			ServerBudgets: s.cfg.VerifyServerBudgets,
+			ContextSwitch: s.cfg.ContextSwitch,
+			Horizon:       vtime.Time(s.cfg.Horizon),
+		}
+		if s.cfg.Treatment != detect.NoDetection {
+			// The oracle checks detector fires against the same
+			// latest-detection bounds the supervisor armed.
+			offs := make(map[string]vtime.Duration, s.cfg.Tasks.Len())
+			for _, t := range s.cfg.Tasks.Tasks {
+				if off, ok := s.sup.DetectorOffset(t.Name); ok {
+					offs[t.Name] = off
+				}
+			}
+			vcfg.DetectorOffsets = offs
+		}
+		var err error
+		chk, err = verify.New(vcfg)
+		if err != nil {
+			return nil, err
+		}
+		sink = trace.Tee(chk, sink)
+	}
 	eng, err := engine.New(engine.Config{
 		Tasks:         s.cfg.Tasks,
 		Faults:        s.cfg.Faults,
@@ -170,6 +220,11 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		setup(eng, s.sup)
 	}
 	log := eng.Run()
+	if chk != nil {
+		if verr := chk.FinishErr(); verr != nil {
+			return nil, fmt.Errorf("core: invariant oracle: %w", verr)
+		}
+	}
 	var rep *metrics.Report
 	if acc != nil {
 		rep = acc.Report()

@@ -57,6 +57,28 @@ func (t Treatment) String() string {
 	}
 }
 
+// ParseTreatment maps a treatment name to its constant. It accepts
+// the short command-line vocabulary (none, detect, stop, equitable,
+// system) and the paper's long forms (no-detection, detect-only,
+// stop-equitable, equitable-allowance, system-allowance); the empty
+// string means NoDetection. It is the single mapping behind
+// sim.ParseTreatment and the verify oracle's scenario bridge.
+func ParseTreatment(name string) (Treatment, error) {
+	switch name {
+	case "", "none", "no-detection":
+		return NoDetection, nil
+	case "detect", "detect-only":
+		return DetectOnly, nil
+	case "stop":
+		return Stop, nil
+	case "equitable", "stop-equitable", "equitable-allowance":
+		return Equitable, nil
+	case "system", "system-allowance":
+		return SystemAllowance, nil
+	}
+	return 0, fmt.Errorf("detect: unknown treatment %q (want none|detect|stop|equitable|system)", name)
+}
+
 // Config parameterizes a Supervisor.
 type Config struct {
 	// Treatment is the fault response policy.

@@ -100,7 +100,9 @@ type Config struct {
 // Hooks are observation points used by the fault-tolerance supervisor
 // and by tests. Under Stream collection the *Job passed to a hook is
 // recycled once the hook returns — read what you need, do not retain
-// the pointer.
+// the pointer; and the job is already consumed from its task's queue
+// when OnFinish/OnStopped run, so a JobAt for it inside the hook
+// reports it missing (see JobAt's contract).
 type Hooks struct {
 	// OnRelease fires after a job is released and admitted.
 	OnRelease func(e *Engine, j *Job)
@@ -949,9 +951,16 @@ func (e *Engine) readyRemove(ts *taskState) {
 
 // JobAt returns task's job q and whether it exists. Under Stream
 // collection only live (released, unfinished) jobs resolve — a binary
-// search over the release-ordered pending queue; callers — the
-// detectors, D-over's watchdog — already treat a missing job the same
-// as a finished one.
+// search over the release-ordered pending queue. The contract is
+// therefore: a missing job is a terminated (or never-released) one,
+// and that holds from the very instant the job terminates — a query
+// issued by a callback at the job's own completion instant (a
+// detector check, an OnFinish/OnStopped hook, a same-tick timer)
+// already reports it missing, because finishIfDone consumes the job
+// from the pending queue before any hook runs. Callers must treat
+// missing as done, never as "not yet released"; the detectors and
+// D-over's watchdog do exactly that, and
+// TestJobAtSameInstantCompletion pins the behaviour in both modes.
 func (e *Engine) JobAt(task string, q int64) (*Job, bool) {
 	ts, ok := e.byName[task]
 	if !ok {

@@ -159,3 +159,46 @@ func TestRetainSinkTees(t *testing.T) {
 		t.Error("Log() must return the retained log")
 	}
 }
+
+// TestJobAtSameInstantCompletion pins JobAt's terminated-job
+// contract at the trickiest instant — a query from the OnFinish hook,
+// i.e. the very tick the job completes. Under Stream the job has
+// already left the pending queue (and is about to be recycled), so it
+// must report missing; under Retain the full history resolves it and
+// shows it done. Either way, "missing or done" is what a same-instant
+// caller (a detector firing at the completion tick) must treat as
+// "finished in time".
+func TestJobAtSameInstantCompletion(t *testing.T) {
+	for _, mode := range []Collect{Retain, Stream} {
+		mode := mode
+		name := map[Collect]string{Retain: "retain", Stream: "stream"}[mode]
+		t.Run(name, func(t *testing.T) {
+			queried := false
+			cfg := Config{
+				Tasks:   table2WithOffset(),
+				End:     at(3000),
+				Collect: mode,
+				Hooks: Hooks{
+					OnFinish: func(e *Engine, j *Job) {
+						queried = true
+						jj, ok := e.JobAt(j.TaskName(), j.Q)
+						switch mode {
+						case Stream:
+							if ok {
+								t.Errorf("%s#%d: JobAt resolved a job that completed this instant under Stream", j.TaskName(), j.Q)
+							}
+						case Retain:
+							if !ok || jj != j || !jj.Done() {
+								t.Errorf("%s#%d: JobAt under Retain = (%v, %v), want the done job", j.TaskName(), j.Q, jj, ok)
+							}
+						}
+					},
+				},
+			}
+			run(t, cfg)
+			if !queried {
+				t.Fatal("OnFinish never fired")
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzDecode fuzzes the log parser with arbitrary text: it must never
+// panic, and whatever it accepts must re-encode canonically — i.e.
+// encode(decode(s)) is a fixpoint: decoding it again succeeds and
+// yields identical bytes. This is the property that lets a spilled
+// trace be re-read and re-spilled indefinitely without drift.
+func FuzzDecode(f *testing.F) {
+	f.Add("t=0 release tau1 0\nt=2 end tau1 0\n")
+	f.Add("t=5 grant tau1 2 arg=120\n")
+	f.Add("# comment\n\nt=0 detector - -1\n")
+	f.Add("t=abc end tau1 0\n")
+	f.Add("t=-3 begin a 0\nt=9223372036854775807 miss b 1\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := DecodeString(s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := l.EncodeString()
+		back, err := DecodeString(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\ninput: %q\ncanonical: %q", err, s, canon)
+		}
+		if re := back.EncodeString(); re != canon {
+			t.Fatalf("encode/decode not a fixpoint:\nfirst:  %q\nsecond: %q", canon, re)
+		}
+	})
+}

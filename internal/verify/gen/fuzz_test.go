@@ -1,0 +1,69 @@
+package gen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/verify/gen"
+	"repro/sim"
+	"repro/sim/scenario"
+)
+
+// runVerified runs the scenario under the invariant oracle in the
+// given collection mode and returns the run error (nil = all axioms
+// held).
+func runVerified(sc scenario.Scenario, mode string) error {
+	sc.Collect = &scenario.Collect{Mode: mode}
+	sc.Verify = true
+	sys, err := sim.FromScenario(sc)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	_, err = sys.Run()
+	return err
+}
+
+// FuzzScenario is the native fuzz target over the scenario space: any
+// seed must derive a scenario whose run satisfies every scheduling
+// axiom, in every legal collection mode. A failing seed is shrunk to
+// a minimal reproducer so the report is actionable.
+//
+// CI runs this as a short smoke on every PR and a longer non-blocking
+// pass nightly: go test -fuzz=FuzzScenario ./internal/verify/gen
+func FuzzScenario(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := gen.Scenario(seed)
+		for _, mode := range gen.LegalCollectModes(&sc) {
+			if err := runVerified(sc, mode); err != nil {
+				// Stamp the failing mode so the written reproducer
+				// replays in it, shrink each candidate under its own
+				// collect block (sim.OracleFailure — oracle
+				// violations only, per gen.Failure's contract), and
+				// persist under the repository's testdata/shrunk so
+				// the artefact outlives the test.
+				failing := sc
+				failing.Collect = &scenario.Collect{Mode: mode}
+				repro := gen.Reproduce(gen.ReproducerPath(), failing, sim.OracleFailure)
+				t.Fatalf("seed %#x (%s collection) violates the scheduling axioms: %v\nreproducer: %s",
+					seed, mode, err, repro)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsSmoke keeps the fuzz body exercised under plain `go
+// test` (fuzzing only runs with -fuzz): a deterministic sweep over a
+// small seed range.
+func TestFuzzSeedsSmoke(t *testing.T) {
+	for seed := uint64(0); seed < 24; seed++ {
+		sc := gen.Scenario(seed)
+		for _, mode := range gen.LegalCollectModes(&sc) {
+			if err := runVerified(sc, mode); err != nil {
+				t.Errorf("seed %d (%s): %v", seed, mode, err)
+			}
+		}
+	}
+}

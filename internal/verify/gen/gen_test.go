@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/vtime"
+	"repro/sim/scenario"
+)
+
+// TestScenarioDeterministic pins the generator's contract: a seed is
+// a complete reproducer, so the same seed must yield byte-identical
+// scenarios.
+func TestScenarioDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 32; seed++ {
+		a, errA := scenario.Marshal(ptr(Scenario(seed)))
+		b, errB := scenario.Marshal(ptr(Scenario(seed)))
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: marshal: %v / %v", seed, errA, errB)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: two derivations differ:\n%s\n---\n%s", seed, a, b)
+		}
+	}
+}
+
+func ptr(sc scenario.Scenario) *scenario.Scenario { return &sc }
+
+// TestScenarioValid runs the structural validator over a seed range —
+// Scenario itself panics on an invalid derivation, so surviving the
+// loop is the assertion.
+func TestScenarioValid(t *testing.T) {
+	for seed := uint64(0); seed < 128; seed++ {
+		sc := Scenario(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sc.Tasks) < 2 || len(sc.Tasks) > 6 {
+			t.Fatalf("seed %d: %d tasks, want 2..6", seed, len(sc.Tasks))
+		}
+	}
+}
+
+// TestScenarioSpaceCoverage asserts the generator actually reaches
+// the whole scenario space over a modest seed range: every registered
+// policy, every treatment, both collection modes, servers, overloads
+// and all fault kinds.
+func TestScenarioSpaceCoverage(t *testing.T) {
+	policies := map[string]bool{}
+	treatments := map[string]bool{}
+	kinds := map[string]bool{}
+	var stream, retain, servers, overload bool
+	for seed := uint64(0); seed < 256; seed++ {
+		sc := Scenario(seed)
+		policies[sc.Policy] = true
+		treatments[sc.Treatment] = true
+		for _, f := range sc.Faults {
+			kinds[f.Kind] = true
+		}
+		if sc.Streaming() {
+			stream = true
+		} else {
+			retain = true
+		}
+		if len(sc.Servers) > 0 {
+			servers = true
+		}
+		if sc.SkipAdmission {
+			overload = true
+		}
+	}
+	for _, p := range []string{"fixed-priority", "edf", "best-effort", "red", "d-over"} {
+		if !policies[p] {
+			t.Errorf("policy %q never generated", p)
+		}
+	}
+	for _, tr := range []string{"none", "detect", "stop", "equitable", "system"} {
+		if !treatments[tr] {
+			t.Errorf("treatment %q never generated", tr)
+		}
+	}
+	for _, k := range faultKinds {
+		if !kinds[k] {
+			t.Errorf("fault kind %q never generated", k)
+		}
+	}
+	if !stream || !retain {
+		t.Errorf("collection coverage: stream=%v retain=%v", stream, retain)
+	}
+	if !servers {
+		t.Error("no scenario with a polling server generated")
+	}
+	if !overload {
+		t.Error("no overload (skip-admission) scenario generated")
+	}
+}
+
+// TestShrinkMinimizes drives the shrinker with a synthetic failure
+// predicate ("fails whenever task t2 is present") and expects the
+// fixpoint: one task, millisecond horizon, no faults, no servers, no
+// knobs.
+func TestShrinkMinimizes(t *testing.T) {
+	sc := Scenario(7) // any seed with several tasks
+	fails := func(cand scenario.Scenario) bool {
+		for _, task := range cand.Tasks {
+			if task.Name == "t2" {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(sc) {
+		t.Fatal("precondition: generated scenario lacks t2")
+	}
+	shrunk := Shrink(sc, fails)
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	if !fails(shrunk) {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	if len(shrunk.Tasks) != 1 || shrunk.Tasks[0].Name != "t2" {
+		t.Errorf("tasks not minimized: %+v", shrunk.Tasks)
+	}
+	if len(shrunk.Faults) != 0 || len(shrunk.Servers) != 0 {
+		t.Errorf("faults/servers not dropped: %d/%d", len(shrunk.Faults), len(shrunk.Servers))
+	}
+	if vtime.Duration(shrunk.Horizon) > 2*vtime.Millisecond {
+		t.Errorf("horizon not minimized: %v", shrunk.Horizon)
+	}
+	if shrunk.Treatment != "none" || shrunk.TimerResolution != 0 || shrunk.Collect != nil {
+		t.Errorf("knobs not cleared: treatment=%q resolution=%v collect=%v",
+			shrunk.Treatment, shrunk.TimerResolution, shrunk.Collect)
+	}
+}
+
+// TestWriteReproducer pins the reproducer artefact: canonical JSON,
+// named after the scenario, decodable.
+func TestWriteReproducer(t *testing.T) {
+	dir := t.TempDir()
+	sc := Scenario(3)
+	path, err := WriteReproducer(dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.DecodeFile(path)
+	if err != nil {
+		t.Fatalf("reproducer does not decode: %v", err)
+	}
+	want, _ := scenario.Marshal(&sc)
+	got, _ := scenario.Marshal(back)
+	if string(got) != string(want) {
+		t.Error("reproducer round-trip changed the scenario")
+	}
+}
+
+// TestShrinkPreservesStreamOnlyFailure guards the reproducer's
+// replayability: when the failure only manifests under streaming
+// collection (the predicate models a stream-only engine bug), the
+// shrinker must not drop the "collect" block — the written reproducer
+// has to fail when replayed as declared.
+func TestShrinkPreservesStreamOnlyFailure(t *testing.T) {
+	sc := Scenario(7)
+	sc.Servers = nil
+	sc.Collect = &scenario.Collect{Mode: scenario.CollectStream}
+	fails := func(cand scenario.Scenario) bool {
+		return cand.Streaming() // fails only as declared-streaming
+	}
+	if !fails(sc) {
+		t.Fatal("precondition: stamped scenario not streaming")
+	}
+	shrunk := Shrink(sc, fails)
+	if !shrunk.Streaming() {
+		t.Fatalf("shrinker dropped the failing collection mode: collect=%v", shrunk.Collect)
+	}
+	if !fails(shrunk) {
+		t.Fatal("shrunk scenario no longer fails as declared")
+	}
+}
+
+// TestGeneratorPolicyListCurrent guards the pinned policy draw: when
+// a new scheduling policy registers, this fails so the generator's
+// list is extended *deliberately* (append-only — reordering or
+// deriving it from the registry would remap every logged failing
+// seed, invalidating reproducers).
+func TestGeneratorPolicyListCurrent(t *testing.T) {
+	registered := engine.PolicyNames()
+	pinned := map[string]bool{}
+	for _, p := range policies {
+		pinned[p] = true
+	}
+	for _, p := range registered {
+		if !pinned[p] {
+			t.Errorf("policy %q is registered but not drawn by the generator — append it to gen.policies (do not reorder: seed stability)", p)
+		}
+	}
+	for _, p := range policies {
+		if _, err := engine.NewPolicy(p); err != nil {
+			t.Errorf("generator draws unregistered policy %q: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package gen_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/verify/gen"
+	"repro/internal/vtime"
+	"repro/sim/scenario"
+)
+
+// invertedEDF is the test-only engine mutation: it answers to the
+// name "edf" but prefers the *later* absolute deadline — exactly the
+// kind of ready-queue comparator bug a perf rework could introduce.
+// Running the engine under it while the oracle checks recomputed EDF
+// keys must light up the dispatch-order axiom.
+type invertedEDF struct{}
+
+func (invertedEDF) Name() string { return "edf" }
+
+func (invertedEDF) Better(a, b *engine.Job) bool {
+	if a.AbsDeadline != b.AbsDeadline {
+		return a.AbsDeadline.After(b.AbsDeadline) // inverted on purpose
+	}
+	if a.Release != b.Release {
+		return a.Release.Before(b.Release)
+	}
+	return a.TaskName() < b.TaskName()
+}
+
+func (invertedEDF) Admit(*engine.Engine, *engine.Job) bool { return true }
+
+// runMutant executes the scenario on a bare engine driven by the
+// mutated policy, with the oracle attached as the trace sink, and
+// reports whether the oracle caught a violation.
+func runMutant(t *testing.T, sc scenario.Scenario) bool {
+	set, err := sc.TaskSet()
+	if err != nil {
+		return false
+	}
+	plan, err := sc.FaultPlan()
+	if err != nil {
+		return false
+	}
+	chk, err := verify.ForScenario(&sc)
+	if err != nil {
+		return false
+	}
+	eng, err := engine.New(engine.Config{
+		Tasks:         set,
+		Faults:        plan,
+		End:           vtime.Time(sc.Horizon),
+		Policy:        invertedEDF{},
+		Seed:          sc.Seed,
+		StopPoll:      sc.StopPoll.D(),
+		StopJitterMax: sc.StopJitterMax.D(),
+		ContextSwitch: sc.ContextSwitch.D(),
+		Sink:          chk,
+	})
+	if err != nil {
+		return false
+	}
+	eng.Run()
+	chk.Finish()
+	return chk.Err() != nil
+}
+
+// mutantScenario is a six-task EDF workload with enough contention
+// that an inverted comparator misdispatches immediately.
+func mutantScenario() scenario.Scenario {
+	periods := []int64{20, 30, 40, 50, 60, 80}
+	sc := scenario.Scenario{
+		Name:      "engine-mutation",
+		Policy:    "edf",
+		Treatment: "none",
+		Horizon:   scenario.Duration(vtime.Millis(1000)),
+	}
+	for i, p := range periods {
+		sc.Tasks = append(sc.Tasks, scenario.Task{
+			Name:     taskName(i),
+			Priority: len(periods) - i,
+			Period:   scenario.Duration(vtime.Millis(p)),
+			Deadline: scenario.Duration(vtime.Millis(p)),
+			Cost:     scenario.Duration(vtime.Millis(2)),
+		})
+	}
+	return sc
+}
+
+func taskName(i int) string { return string(rune('a'+i)) + "task" }
+
+// TestOracleCatchesEngineMutation is the acceptance scenario for the
+// oracle: an intentionally injected dispatch-order bug (the inverted
+// comparator above) must be caught, and the failing scenario must
+// shrink to a reproducer of at most 5 tasks.
+func TestOracleCatchesEngineMutation(t *testing.T) {
+	sc := mutantScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The oracle must flag the mutant...
+	if !runMutant(t, sc) {
+		t.Fatal("oracle did not catch the inverted-comparator mutation")
+	}
+	// ...and specifically for the dispatch-order axiom.
+	chkErr := mutantOracleError(t, sc)
+	var verr *verify.Error
+	if !errors.As(chkErr, &verr) {
+		t.Fatalf("want *verify.Error, got %v", chkErr)
+	}
+	found := false
+	for _, v := range verr.Violations {
+		if v.Rule == "dispatch-order" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dispatch-order violation among: %v", verr)
+	}
+
+	// Shrink to a minimal reproducer and persist it.
+	shrunk := gen.Shrink(sc, func(cand scenario.Scenario) bool { return runMutant(t, cand) })
+	if len(shrunk.Tasks) > 5 {
+		t.Errorf("reproducer has %d tasks, want <= 5", len(shrunk.Tasks))
+	}
+	if !runMutant(t, shrunk) {
+		t.Fatal("shrunk reproducer no longer triggers the oracle")
+	}
+	path, err := gen.WriteReproducer(t.TempDir(), shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.DecodeFile(path)
+	if err != nil {
+		t.Fatalf("reproducer does not decode: %v", err)
+	}
+	if !runMutant(t, *back) {
+		t.Fatal("decoded reproducer no longer triggers the oracle")
+	}
+	t.Logf("mutation shrunk to %d tasks, horizon %v", len(shrunk.Tasks), shrunk.Horizon)
+}
+
+// mutantOracleError reruns the mutant and returns the oracle error.
+func mutantOracleError(t *testing.T, sc scenario.Scenario) error {
+	set, err := sc.TaskSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := verify.ForScenario(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{
+		Tasks:  set,
+		End:    vtime.Time(sc.Horizon),
+		Policy: invertedEDF{},
+		Sink:   chk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	chk.Finish()
+	return chk.Err()
+}
+
+// TestOracleCatchesDroppedEvents mutates the *trace* instead of the
+// scheduler: a sink filter that swallows every JobPreempt makes the
+// stream claim two jobs run at once, which the single-CPU axiom must
+// catch. This guards the oracle against event-stream corruption, the
+// failure mode of a buggy sink or spill path.
+func TestOracleCatchesDroppedEvents(t *testing.T) {
+	sc := mutantScenario()
+	sc.Policy = "fixed-priority" // run the stock engine; corrupt only the stream
+	set, err := sc.TaskSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := verify.ForScenario(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{
+		Tasks: set,
+		End:   vtime.Time(sc.Horizon),
+		Sink:  dropPreempts{chk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	chk.Finish()
+	var verr *verify.Error
+	if err := chk.Err(); !errors.As(err, &verr) {
+		t.Fatalf("oracle did not catch the dropped preempt events: %v", err)
+	}
+}
+
+// dropPreempts forwards every event except JobPreempt.
+type dropPreempts struct{ next *verify.Checker }
+
+func (d dropPreempts) Append(e trace.Event) {
+	if e.Kind != trace.JobPreempt {
+		d.next.Append(e)
+	}
+}

@@ -1,0 +1,469 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// twoTasks is a minimal fixed-priority system: t1 (high) every 10 ms
+// with deadline 10 ms and cost 2 ms, t2 (low) every 20 ms with
+// deadline 20 ms and cost 5 ms.
+func twoTasks(t *testing.T) *taskset.Set {
+	t.Helper()
+	return taskset.MustNew(
+		taskset.Task{Name: "t1", Priority: 2, Period: vtime.Millis(10), Deadline: vtime.Millis(10), Cost: vtime.Millis(2)},
+		taskset.Task{Name: "t2", Priority: 1, Period: vtime.Millis(20), Deadline: vtime.Millis(20), Cost: vtime.Millis(5)},
+	)
+}
+
+func checker(t *testing.T, cfg Config) *Checker {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// ev abbreviates event construction.
+func ev(atMS int64, kind trace.Kind, task string, job int64) trace.Event {
+	return trace.Event{At: vtime.AtMillis(atMS), Kind: kind, Task: task, Job: job}
+}
+
+// feed drives a sequence and finishes the checker.
+func feed(c *Checker, events ...trace.Event) {
+	for _, e := range events {
+		c.Append(e)
+	}
+	c.Finish()
+}
+
+// wantRule asserts exactly the given rules were violated (in order).
+func wantRule(t *testing.T, c *Checker, rules ...string) {
+	t.Helper()
+	var got []string
+	for _, v := range c.Violations() {
+		got = append(got, v.Rule)
+	}
+	if len(got) != len(rules) {
+		t.Fatalf("violations %v, want rules %v", c.Violations(), rules)
+	}
+	for i, r := range rules {
+		if got[i] != r {
+			t.Fatalf("violation %d is %q (%v), want %q", i, got[i], c.Violations()[i], r)
+		}
+	}
+}
+
+// cleanTrace is a correct two-job schedule of the twoTasks system:
+// t1#0 runs 0–2, t2#0 runs 2–7, the next t1 job preempts nothing.
+func cleanTrace() []trace.Event {
+	return []trace.Event{
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(2, trace.JobBegin, "t2", 0),
+		ev(7, trace.JobEnd, "t2", 0),
+		ev(10, trace.JobRelease, "t1", 1),
+		ev(10, trace.JobBegin, "t1", 1),
+		ev(12, trace.JobEnd, "t1", 1),
+	}
+}
+
+func TestCleanTracePasses(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(15)})
+	feed(c, cleanTrace()...)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean trace flagged: %v", err)
+	}
+}
+
+func TestMonotoneTime(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(5)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(1, trace.DetectorRelease, "t1", 0), // time went backwards
+	)
+	wantRule(t, c, "monotone-time")
+}
+
+func TestDoubleRun(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(5)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(1, trace.JobBegin, "t2", 0), // t1 still running
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(6, trace.JobEnd, "t2", 0),
+	)
+	// The overlapping begin is flagged (and, being the lower-priority
+	// job, also misordered); the overlap desyncs the running-job
+	// accounting, so t1's end is no longer "the running job" — all
+	// three stem from the same corruption.
+	wantRule(t, c, "double-run", "dispatch-order", "terminal-not-running")
+}
+
+func TestDispatchOrderFixedPriority(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0), // t1 has higher priority
+		ev(5, trace.JobEnd, "t2", 0),
+		ev(5, trace.JobBegin, "t1", 0),
+		ev(7, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "dispatch-order")
+}
+
+func TestDispatchOrderEDF(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Policy: "edf", Horizon: vtime.AtMillis(10)})
+	// Under EDF t1#0 (deadline 10) precedes t2#0 (deadline 20):
+	// dispatching t2 first violates the recomputed deadline keys.
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0),
+		ev(5, trace.JobEnd, "t2", 0),
+		ev(5, trace.JobBegin, "t1", 0),
+		ev(7, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "dispatch-order")
+}
+
+func TestDispatchOrderUnknownPolicySkipped(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Policy: "some-exotic-policy", Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0),
+		ev(5, trace.JobEnd, "t2", 0),
+		ev(5, trace.JobBegin, "t1", 0),
+		ev(7, trace.JobEnd, "t1", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("unknown policy must disable only the dispatch-order axiom: %v", err)
+	}
+}
+
+func TestFIFOWithinTask(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "t1", Priority: 1, Period: vtime.Millis(5), Deadline: vtime.Millis(20), Cost: vtime.Millis(4)},
+	)
+	c := checker(t, Config{Tasks: set, Horizon: vtime.AtMillis(20)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(4, trace.JobEnd, "t1", 0),
+		ev(5, trace.JobRelease, "t1", 1),
+		ev(10, trace.JobRelease, "t1", 2),
+		ev(10, trace.JobBegin, "t1", 2), // job 1 is the head
+	)
+	wantRule(t, c, "dispatch-non-head")
+}
+
+func TestDeadlineUnresolved(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(30)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		// t1#0's 10 ms deadline passes: no end, no stop, no miss event.
+		ev(10, trace.JobRelease, "t1", 1),
+		ev(11, trace.DetectorRelease, "t1", 0),
+	)
+	// t1#0 is flagged when the clock passes 10 ms; t1#1 (deadline
+	// 20 ms, never resolved either) is flagged by Finish.
+	wantRule(t, c, "deadline-unresolved", "deadline-unresolved")
+}
+
+func TestMissRecordedAtDeadlineIsClean(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(14)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(10, trace.JobRelease, "t1", 1),
+		ev(10, trace.DeadlineMiss, "t1", 0),
+		ev(12, trace.JobEnd, "t1", 0), // late completion after the miss
+		ev(12, trace.JobBegin, "t1", 1),
+		ev(14, trace.JobEnd, "t1", 1),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("miss-then-late-completion is legal: %v", err)
+	}
+}
+
+func TestMissTimeMustEqualDeadline(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(12)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(9, trace.DeadlineMiss, "t1", 0), // one ms early
+		ev(11, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "miss-time")
+}
+
+func TestMissAfterEnd(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(12)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(10, trace.DeadlineMiss, "t1", 0), // already finished in time
+	)
+	wantRule(t, c, "miss-after-end")
+}
+
+func TestReleaseTimeAndOrder(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(25)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(11, trace.JobRelease, "t1", 1), // one ms late
+		ev(11, trace.JobBegin, "t1", 1),
+		ev(13, trace.JobEnd, "t1", 1),
+		ev(20, trace.JobRelease, "t1", 3), // skips job 2
+		ev(20, trace.JobBegin, "t1", 3),
+		ev(22, trace.JobEnd, "t1", 3),
+	)
+	wantRule(t, c, "release-time", "release-order", "release-time")
+}
+
+func TestDetectorTiming(t *testing.T) {
+	offs := map[string]vtime.Duration{"t1": vtime.Millis(3)}
+	c := checker(t, Config{Tasks: twoTasks(t), DetectorOffsets: offs, Horizon: vtime.AtMillis(20)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(3, trace.DetectorRelease, "t1", 0),  // exact: release 0 + 3 ms
+		ev(14, trace.DetectorRelease, "t1", 1), // want 13 ms
+	)
+	wantRule(t, c, "detector-time")
+}
+
+func TestFaultOnTerminatedJob(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(3, trace.DetectorRelease, "t1", 0),
+		ev(3, trace.FaultDetected, "t1", 0), // finished a ms ago
+	)
+	wantRule(t, c, "fault-on-terminated")
+}
+
+func TestServerBudget(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "srv", Priority: 1, Period: vtime.Millis(10), Deadline: vtime.Millis(10), Cost: vtime.Millis(2)},
+	)
+	c := checker(t, Config{
+		Tasks:         set,
+		ServerBudgets: map[string]vtime.Duration{"srv": vtime.Millis(2)},
+		Horizon:       vtime.AtMillis(10),
+	})
+	feed(c,
+		ev(0, trace.JobRelease, "srv", 0),
+		ev(0, trace.JobBegin, "srv", 0),
+		ev(3, trace.JobEnd, "srv", 0), // 3 ms of service from a 2 ms budget
+	)
+	wantRule(t, c, "server-budget")
+}
+
+func TestServerBudgetAllowsContextSwitchOverhead(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "srv", Priority: 1, Period: vtime.Millis(10), Deadline: vtime.Millis(10), Cost: vtime.Millis(2)},
+	)
+	c := checker(t, Config{
+		Tasks:         set,
+		ServerBudgets: map[string]vtime.Duration{"srv": vtime.Millis(2)},
+		ContextSwitch: vtime.Millis(1),
+		Horizon:       vtime.AtMillis(10),
+	})
+	feed(c,
+		ev(0, trace.JobRelease, "srv", 0),
+		ev(0, trace.JobBegin, "srv", 0),
+		ev(3, trace.JobEnd, "srv", 0), // 2 ms budget + 1 dispatch × 1 ms
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("budget must admit charged switch overhead: %v", err)
+	}
+}
+
+func TestAdmissionDropIsLegal(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobStopped, "t1", 0), // shed at release: legal
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("admission drop flagged: %v", err)
+	}
+}
+
+func TestStopWithoutRunningAfterRelease(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(5, trace.JobStopped, "t1", 0), // never began, not at release
+	)
+	wantRule(t, c, "stop-before-begin")
+}
+
+func TestPreemptResumeLifecycle(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "t1", Priority: 2, Period: vtime.Millis(10), Deadline: vtime.Millis(10), Cost: vtime.Millis(2), Offset: vtime.Millis(10)},
+		taskset.Task{Name: "t2", Priority: 1, Period: vtime.Millis(20), Deadline: vtime.Millis(20), Cost: vtime.Millis(12)},
+	)
+	c := checker(t, Config{Tasks: set, Horizon: vtime.AtMillis(15)})
+	feed(c,
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0),
+		ev(10, trace.JobRelease, "t1", 0),
+		ev(10, trace.JobPreempt, "t2", 0),
+		ev(10, trace.JobBegin, "t1", 0),
+		ev(12, trace.JobEnd, "t1", 0),
+		ev(12, trace.JobResume, "t2", 0),
+		ev(14, trace.JobEnd, "t2", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("legal preempt/resume flagged: %v", err)
+	}
+}
+
+func TestResumeBeforeBegin(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobResume, "t1", 0),
+		ev(2, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "resume-before-begin")
+}
+
+func TestPreemptNotRunning(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(1, trace.JobPreempt, "t1", 0), // never dispatched
+		ev(1, trace.JobBegin, "t1", 0),
+		ev(3, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "preempt-not-running")
+}
+
+func TestUnknownTask(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c, ev(0, trace.JobRelease, "ghost", 0))
+	// The undeclared task is flagged once, then tracked leniently
+	// (its parameters are unknown, so no deadline can be enforced).
+	wantRule(t, c, "unknown-task")
+}
+
+func TestConservationAtHorizon(t *testing.T) {
+	// A live job whose deadline is beyond the horizon is legal.
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(19)})
+	feed(c,
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("live unexpired job at horizon flagged: %v", err)
+	}
+}
+
+func TestDeadlineExactlyAtHorizonNeedsResolution(t *testing.T) {
+	// t2#0's deadline (20 ms) equals the horizon: the engine processes
+	// events at the horizon, so an unterminated job must carry a miss.
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(20)})
+	feed(c,
+		ev(0, trace.JobRelease, "t2", 0),
+		ev(0, trace.JobBegin, "t2", 0),
+	)
+	wantRule(t, c, "deadline-unresolved")
+}
+
+func TestViolationCap(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(1000), MaxViolations: 3})
+	events := []trace.Event{}
+	for q := int64(0); q < 10; q++ {
+		// Every release one ms late: ten release-time violations.
+		events = append(events, trace.Event{At: vtime.AtMillis(q*10 + 1), Kind: trace.JobRelease, Task: "t1", Job: q})
+		events = append(events, trace.Event{At: vtime.AtMillis(q*10 + 1), Kind: trace.JobBegin, Task: "t1", Job: q})
+		events = append(events, trace.Event{At: vtime.AtMillis(q*10 + 3), Kind: trace.JobEnd, Task: "t1", Job: q})
+	}
+	feed(c, events...)
+	verr, ok := c.Err().(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %v", c.Err())
+	}
+	if len(verr.Violations) != 3 || verr.Total != 10 {
+		t.Fatalf("recorded %d/%d violations, want 3 recorded of 10 total:\n%v",
+			len(verr.Violations), verr.Total, verr)
+	}
+	if !strings.Contains(verr.Error(), "... 7 more") {
+		t.Fatalf("Error() should mention the dropped tail: %s", verr)
+	}
+}
+
+// TestZeroGrantIsLegal reproduces the tightly-utilized system whose
+// MaxOverrun is zero: the system-allowance treatment records a grant
+// of 0 ns, which is a correct run, while a negative grant (which no
+// allowance analysis can produce) stays a violation.
+func TestZeroGrantIsLegal(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		trace.Event{At: vtime.AtMillis(1), Kind: trace.AllowanceGrant, Task: "t1", Job: 0, Arg: 0},
+		ev(2, trace.JobEnd, "t1", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("zero grant flagged on a correct run: %v", err)
+	}
+
+	c = checker(t, Config{Tasks: twoTasks(t), Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobBegin, "t1", 0),
+		trace.Event{At: vtime.AtMillis(1), Kind: trace.AllowanceGrant, Task: "t1", Job: 0, Arg: -5},
+		ev(2, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "grant-negative")
+}
+
+// TestCheckerQueueCompacts pins the oracle's bounded-memory story: a
+// never-idle task (cost == period) releasing thousands of jobs must
+// not grow the checker's live queue with the horizon — the consumed
+// prefix is compacted away, exactly like the engine's pending queue.
+func TestCheckerQueueCompacts(t *testing.T) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "hog", Priority: 1, Period: vtime.Millis(10), Deadline: vtime.Millis(10), Cost: vtime.Millis(10)},
+	)
+	const jobs = 5000
+	c := checker(t, Config{Tasks: set, Horizon: vtime.AtMillis(10 * jobs)})
+	for q := int64(0); q < jobs; q++ {
+		base := q * 10
+		c.Append(trace.Event{At: vtime.AtMillis(base), Kind: trace.JobRelease, Task: "hog", Job: q})
+		c.Append(trace.Event{At: vtime.AtMillis(base), Kind: trace.JobBegin, Task: "hog", Job: q})
+		c.Append(trace.Event{At: vtime.AtMillis(base + 10), Kind: trace.JobEnd, Task: "hog", Job: q})
+	}
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("saturating task flagged: %v", err)
+	}
+	tc := c.byName["hog"]
+	if cap(tc.queue) > 64 {
+		t.Errorf("checker queue capacity %d grew with %d releases (head=%d)", cap(tc.queue), jobs, tc.head)
+	}
+}

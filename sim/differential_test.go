@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/sim/scenario"
+)
+
+// TestDifferentialSweepCoverage runs the default X11 sweep and pins
+// the acceptance envelope: at least 50 scenarios, zero invariant
+// violations (the sweep errors on any), every registered policy,
+// both collection modes, and all four fault families exercised at
+// the fixed seed.
+func TestDifferentialSweepCoverage(t *testing.T) {
+	if raceEnabled {
+		// The race-instrumented CI leg would run the identical
+		// fixed-seed sweep the `make ci` x11 step already runs
+		// unraced; skip the slow duplicate.
+		t.Skip("x11 sweep runs unraced via make ci (rtexp -exp x11)")
+	}
+	points, err := DifferentialSweep(context.Background(), DifferentialSeed, DifferentialCount, RunOptions{})
+	if err != nil {
+		t.Fatalf("differential sweep: %v", err)
+	}
+	if len(points) < 50 {
+		t.Fatalf("sweep covered %d scenarios, want >= 50", len(points))
+	}
+	policies := map[string]bool{}
+	families := map[string]bool{}
+	modes := map[string]bool{}
+	crossChecked := 0
+	for _, p := range points {
+		policies[p.Policy] = true
+		for _, k := range p.FaultKinds {
+			families[faultFamily(k)] = true
+		}
+		for _, m := range p.Modes {
+			modes[m] = true
+		}
+		if len(p.Modes) == 2 {
+			crossChecked++
+		}
+	}
+	for _, name := range Policies() {
+		if !policies[name] {
+			t.Errorf("policy %q never exercised at the fixed seed", name)
+		}
+	}
+	for _, fam := range []string{"overrun", "underrun", "jitter", "interference"} {
+		if !families[fam] {
+			t.Errorf("fault family %q never exercised at the fixed seed", fam)
+		}
+	}
+	if !modes[scenario.CollectRetain] || !modes[scenario.CollectStream] {
+		t.Errorf("collection modes exercised: %v, want both", modes)
+	}
+	if crossChecked == 0 {
+		t.Error("no scenario was cross-checked retain vs stream")
+	}
+}
+
+func faultFamily(kind string) string {
+	switch kind {
+	case scenario.FaultOverrunAt, scenario.FaultOverrunEvery:
+		return "overrun"
+	case scenario.FaultUnderrunEvery:
+		return "underrun"
+	default:
+		return kind
+	}
+}
+
+// TestReportDivergenceDetects pins the cross-check itself: doctored
+// reports must be flagged, equal ones must not.
+func TestReportDivergenceDetects(t *testing.T) {
+	mk := func() *RunResult {
+		return &RunResult{
+			Detections: 2,
+			Switches:   10,
+			Report: &metrics.Report{Tasks: map[string]*metrics.TaskSummary{
+				"t1": {Task: "t1", Released: 5, Finished: 4, Failed: 1, Missed: 1},
+			}},
+		}
+	}
+	if diff := reportDivergence(mk(), mk()); diff != "" {
+		t.Fatalf("equal reports flagged: %s", diff)
+	}
+	b := mk()
+	b.Report.Tasks["t1"].Finished = 3
+	if diff := reportDivergence(mk(), b); diff == "" {
+		t.Fatal("diverging Finished count not flagged")
+	}
+	c := mk()
+	c.Detections = 3
+	if diff := reportDivergence(mk(), c); diff == "" {
+		t.Fatal("diverging detections not flagged")
+	}
+}

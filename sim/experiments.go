@@ -125,4 +125,13 @@ func init() {
 			}
 			return Result{Data: points, Text: experiments.RenderScaling(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x11",
+		"X11 — differential invariant sweep: fuzzed scenarios property-verified in both collection modes",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := DifferentialSweep(ctx, DifferentialSeed, DifferentialCount, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: RenderDifferential(points)}, nil
+		}))
 }

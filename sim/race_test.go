@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this
+// build; the x11 sweep test skips the duplicate instrumented run
+// (make ci runs the sweep unraced via rtexp -exp x11).
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/aperiodic"
+	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/taskset"
@@ -189,15 +190,9 @@ type Collect struct {
 	Mode string `json:"mode"`
 }
 
-// Treatment names accepted by the codec (the vocabulary of cmd/rtrun
-// -treatment, with the paper's §4 long forms as aliases).
-var treatments = map[string]bool{
-	"": true, "none": true, "detect": true, "stop": true,
-	"equitable": true, "system": true,
-	"no-detection": true, "detect-only": true,
-	"stop-equitable": true, "equitable-allowance": true,
-	"system-allowance": true,
-}
+// Treatment names are validated through detect.ParseTreatment — the
+// single mapping behind the codec, sim.ParseTreatment and the verify
+// oracle — so the vocabulary cannot drift between them.
 
 // Scenario is the complete declarative description of one simulation.
 // The zero values mean: fixed-priority policy, no detection, no
@@ -241,6 +236,11 @@ type Scenario struct {
 	// Streaming collection cannot combine with servers: the aperiodic
 	// service analysis reads the retained log.
 	Collect *Collect `json:"collect,omitempty"`
+	// Verify enables the online invariant oracle: every trace event
+	// is checked against the scheduling axioms as it is recorded and
+	// the run fails on any violation (see internal/verify). Works in
+	// both collection modes.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // Streaming reports whether the scenario declares streaming
@@ -259,7 +259,7 @@ func (sc *Scenario) Validate() error {
 	if _, err := engine.NewPolicy(sc.Policy); err != nil {
 		return err
 	}
-	if !treatments[sc.Treatment] {
+	if _, err := detect.ParseTreatment(sc.Treatment); err != nil {
 		return fmt.Errorf("scenario: unknown treatment %q (want none|detect|stop|equitable|system)", sc.Treatment)
 	}
 	if sc.Horizon <= 0 {
@@ -345,7 +345,8 @@ func (sc *Scenario) FaultPlan() (fault.Plan, error) {
 }
 
 func treatmentIsNone(name string) bool {
-	return name == "" || name == "none" || name == "no-detection"
+	tr, err := detect.ParseTreatment(name)
+	return err == nil && tr == detect.NoDetection
 }
 
 func (sc *Scenario) taskByName(name string) *Task {

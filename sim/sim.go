@@ -200,6 +200,17 @@ func WithoutAdmission() Option {
 	return func(sc *Scenario) error { sc.SkipAdmission = true; return nil }
 }
 
+// WithVerify enables the online invariant oracle: the run's trace is
+// checked event by event against the scheduling axioms (timestamp
+// monotonicity, single-CPU occupancy, release/deadline resolution,
+// policy-consistent dispatch order, detector timing, per-task
+// conservation, server budgets) and Run fails with a wrapped
+// *verify.Error on any violation. The scenario JSON equivalent is
+// "verify": true.
+func WithVerify() Option {
+	return func(sc *Scenario) error { sc.Verify = true; return nil }
+}
+
 // WithCollection selects the run-data retention mode: CollectRetain
 // (the default — full log and per-job records) or CollectStream
 // (bounded memory for long horizons: online metrics accumulation, no

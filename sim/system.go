@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/taskset"
 	"repro/internal/trace"
+	"repro/internal/verify"
 	"repro/internal/vtime"
 )
 
@@ -32,6 +33,11 @@ type System struct {
 // keeps its event stream without the in-memory log; on a retained run
 // it simply tees the log as it is recorded. Pass nil to disable.
 func (s *System) SpillTrace(w io.Writer) { s.spill = w }
+
+// SetVerify toggles the online invariant oracle on an already-built
+// system (the post-load equivalent of WithVerify or the scenario's
+// "verify": true — how cmd/rtrun -check arms it on a loaded file).
+func (s *System) SetVerify(on bool) { s.sc.Verify = on }
 
 // FromScenario validates a declarative scenario into a System.
 func FromScenario(sc Scenario) (*System, error) {
@@ -88,19 +94,7 @@ func (r *RunResult) WriteLog(w io.Writer) error { return r.Log.Encode(w) }
 // detect-only, stop-equitable, equitable-allowance,
 // system-allowance). The empty string means none.
 func ParseTreatment(name string) (detect.Treatment, error) {
-	switch name {
-	case "", "none", "no-detection":
-		return detect.NoDetection, nil
-	case "detect", "detect-only":
-		return detect.DetectOnly, nil
-	case "stop":
-		return detect.Stop, nil
-	case "equitable", "stop-equitable", "equitable-allowance":
-		return detect.Equitable, nil
-	case "system", "system-allowance":
-		return detect.SystemAllowance, nil
-	}
-	return 0, fmt.Errorf("sim: unknown treatment %q (want none|detect|stop|equitable|system)", name)
+	return detect.ParseTreatment(name)
 }
 
 // Policies returns the names of all registered scheduling policies.
@@ -160,6 +154,18 @@ func (s *System) Run() (*RunResult, error) {
 			acc = metrics.NewAccumulator()
 			sink = trace.Tee(acc, sink)
 		}
+		var chk *verify.Checker
+		if sc.Verify {
+			// The bare-engine path wires the oracle itself (no core
+			// System exists to do it); treatment is necessarily none
+			// here, so no detector offsets apply. The admitted-system
+			// twin lives in core.RunWith — change both together.
+			chk, err = verify.ForScenario(&sc)
+			if err != nil {
+				return nil, err
+			}
+			sink = trace.Tee(chk, sink)
+		}
 		eng, err := engine.New(engine.Config{
 			Tasks:         set,
 			Faults:        plan,
@@ -176,6 +182,14 @@ func (s *System) Run() (*RunResult, error) {
 			return nil, err
 		}
 		res.Log = eng.Run()
+		if chk != nil {
+			if verr := chk.FinishErr(); verr != nil {
+				// Flush the spill before failing: the spilled trace of
+				// the violating run is exactly the debugging artefact.
+				flushSpill(spill)
+				return nil, fmt.Errorf("sim: invariant oracle: %w", verr)
+			}
+		}
 		if acc != nil {
 			res.Report = acc.Report()
 		} else {
@@ -184,24 +198,29 @@ func (s *System) Run() (*RunResult, error) {
 		res.Switches = eng.Switches()
 	} else {
 		sys, err := core.NewSystem(core.Config{
-			Tasks:           set,
-			Treatment:       tr,
-			Faults:          plan,
-			Horizon:         sc.Horizon.D(),
-			TimerResolution: sc.TimerResolution.D(),
-			StopPoll:        sc.StopPoll.D(),
-			StopJitterMax:   sc.StopJitterMax.D(),
-			Seed:            sc.Seed,
-			ContextSwitch:   sc.ContextSwitch.D(),
-			Policy:          pol,
-			Collect:         collect,
-			TraceSink:       sink,
+			Tasks:               set,
+			Treatment:           tr,
+			Faults:              plan,
+			Horizon:             sc.Horizon.D(),
+			TimerResolution:     sc.TimerResolution.D(),
+			StopPoll:            sc.StopPoll.D(),
+			StopJitterMax:       sc.StopJitterMax.D(),
+			Seed:                sc.Seed,
+			ContextSwitch:       sc.ContextSwitch.D(),
+			Policy:              pol,
+			Collect:             collect,
+			TraceSink:           sink,
+			Verify:              sc.Verify,
+			VerifyServerBudgets: verify.ServerBudgets(&sc),
 		})
 		if err != nil {
 			return nil, err
 		}
 		r, err := sys.Run()
 		if err != nil {
+			// An invariant-oracle failure surfaces here after the
+			// engine ran: keep whatever trace was spilled.
+			flushSpill(spill)
 			return nil, err
 		}
 		res.Log = r.Log
@@ -223,6 +242,14 @@ func (s *System) Run() (*RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// flushSpill drains the spill sink on an error path, best effort —
+// the run error takes precedence over a flush failure.
+func flushSpill(spill *trace.WriterSink) {
+	if spill != nil {
+		_ = spill.Flush()
+	}
 }
 
 func taskSlice(specs []Task) []taskset.Task {

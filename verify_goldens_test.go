@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/vtime"
+	"repro/sim"
+	"repro/sim/scenario"
+)
+
+// The goldens pin the engine byte for byte; these tests pin them
+// *semantically*: every stored trace is decoded and replayed through
+// the invariant oracle, so a golden that was captured from a buggy
+// engine (or corrupted on disk) fails even though the bytes match.
+
+// replayThroughOracle decodes a stored trace and feeds it to a
+// checker built from the scenario that produced it.
+func replayThroughOracle(t *testing.T, sc *scenario.Scenario, tracePath string) {
+	t.Helper()
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := trace.Decode(f)
+	if err != nil {
+		t.Fatalf("decoding %s: %v", tracePath, err)
+	}
+	chk, err := verify.ForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log.Events() {
+		chk.Append(e)
+	}
+	chk.Finish()
+	if err := chk.Err(); err != nil {
+		t.Errorf("%s violates the scheduling axioms: %v", tracePath, err)
+	}
+}
+
+// TestGoldenScenarioTracesSatisfyInvariants replays every verbatim
+// scenario golden (digest-pinned ones are covered live by
+// TestScenariosRunCleanUnderOracle, which re-generates their events).
+func TestGoldenScenarioTracesSatisfyInvariants(t *testing.T) {
+	files, err := filepath.Glob("testdata/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".json")
+		golden := filepath.Join(goldenDir, name+".trace")
+		if _, err := os.Stat(golden); err != nil {
+			continue // digest-pinned: no verbatim bytes to replay
+		}
+		f := f
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.DecodeFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayThroughOracle(t, sc, golden)
+		})
+		replayed++
+	}
+	if replayed == 0 {
+		t.Fatal("no verbatim scenario goldens found")
+	}
+}
+
+// TestGoldenFigureTracesSatisfyInvariants replays the Figures 3–7
+// goldens — the paper's charted artefacts — through the oracle, with
+// the checker derived from the published run configuration.
+func TestGoldenFigureTracesSatisfyInvariants(t *testing.T) {
+	for _, fig := range []experiments.Figure{
+		experiments.Figure3, experiments.Figure4, experiments.Figure5,
+		experiments.Figure6, experiments.Figure7,
+	} {
+		fig := fig
+		t.Run(fmt.Sprintf("fig%d", int(fig)), func(t *testing.T) {
+			sc := figureScenario(fig)
+			if err := sc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			replayThroughOracle(t, &sc, filepath.Join(goldenDir, fmt.Sprintf("fig%d.trace", int(fig))))
+		})
+	}
+}
+
+// figureScenario restates the RunFigure configuration declaratively.
+func figureScenario(fig experiments.Figure) scenario.Scenario {
+	sc := scenario.Scenario{
+		Treatment:       fig.Treatment().String(),
+		Horizon:         scenario.Duration(experiments.FigureHorizon),
+		TimerResolution: scenario.Duration(10 * vtime.Millisecond),
+		Faults: []scenario.Fault{{
+			Task:  "tau1",
+			Kind:  scenario.FaultOverrunAt,
+			Job:   experiments.FaultyJob,
+			Extra: scenario.Duration(experiments.FigureFaultExtra),
+		}},
+	}
+	for _, task := range experiments.FigureSet().Tasks {
+		sc.Tasks = append(sc.Tasks, scenario.FromTask(task))
+	}
+	return sc
+}
+
+// TestScenariosRunCleanUnderOracle runs every committed scenario live
+// with "verify": true — including the streaming and generator-backed
+// ones whose goldens are digest-pinned — so each future engine change
+// is checked against the axioms on every committed workload, not just
+// against the frozen bytes.
+func TestScenariosRunCleanUnderOracle(t *testing.T) {
+	files, err := filepath.Glob("testdata/scenarios/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("scenarios: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(strings.TrimSuffix(filepath.Base(f), ".json"), func(t *testing.T) {
+			s, err := sim.Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetVerify(true)
+			if _, err := s.Run(); err != nil {
+				t.Errorf("oracle violation: %v", err)
+			}
+		})
+	}
+}
