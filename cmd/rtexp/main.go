@@ -42,6 +42,10 @@ import (
 )
 
 func main() {
+	// Shard-worker mode first: the x12 sweep re-executes this binary
+	// with sim.ShardWorkerEnv set, and the worker must serve scenario
+	// jobs on stdin/stdout instead of running experiments.
+	sim.RunShardWorkerIfEnv()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkpointScenario is a streaming, treatment-none run the checkpoint
+// path accepts: the Table 2 task shape with a recurring overrun.
+const checkpointScenario = `{
+  "name": "ckpt-cli",
+  "tasks": [
+    {"name": "tau1", "priority": 20, "period": "200ms", "deadline": "70ms", "cost": "29ms"},
+    {"name": "tau2", "priority": 18, "period": "250ms", "deadline": "120ms", "cost": "29ms"}
+  ],
+  "faults": [
+    {"task": "tau1", "kind": "overrun-every", "first": 1, "every": 3, "extra": "20ms"}
+  ],
+  "horizon": "3000ms",
+  "collect": {"mode": "stream"}
+}
+`
+
+// TestCheckpointResumeCLI drives the full split through the CLI:
+// -checkpoint writes a resumable file, -resume completes the run, the
+// two -trace-out spills concatenate to the unsplit run's trace
+// byte-for-byte, and the resumed summary equals the unsplit one.
+func TestCheckpointResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	scen := filepath.Join(dir, "ckpt-cli.json")
+	if err := os.WriteFile(scen, []byte(checkpointScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, wholeErr bytes.Buffer
+	whole := filepath.Join(dir, "whole.log")
+	if code := run([]string{"-scenario", scen, "-trace-out", whole}, &stdout, &wholeErr); code != 0 {
+		t.Fatalf("unsplit run exited %d: %s", code, wholeErr.String())
+	}
+
+	ckpt := filepath.Join(dir, "half.ckpt")
+	segA := filepath.Join(dir, "segA.log")
+	var stderr bytes.Buffer
+	if code := run([]string{"-scenario", scen, "-trace-out", segA,
+		"-checkpoint", ckpt, "-checkpoint-at", "1500"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("checkpoint run exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-resume "+ckpt) {
+		t.Errorf("checkpoint run did not print the resume hint: %s", stderr.String())
+	}
+
+	segB := filepath.Join(dir, "segB.log")
+	var resumeErr bytes.Buffer
+	if code := run([]string{"-resume", ckpt, "-trace-out", segB}, &stdout, &resumeErr); code != 0 {
+		t.Fatalf("resume exited %d: %s", code, resumeErr.String())
+	}
+
+	read := func(path string) string {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got, want := read(segA)+read(segB), read(whole); got != want {
+		t.Errorf("stitched trace (%d bytes) differs from unsplit (%d bytes)", len(got), len(want))
+	}
+	if resumeErr.String() != wholeErr.String() {
+		t.Errorf("resumed summary differs from unsplit:\n%s\nvs\n%s", resumeErr.String(), wholeErr.String())
+	}
+}
+
+// TestCheckpointFlagConflicts pins the flag grammar.
+func TestCheckpointFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	scen := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scen, []byte(checkpointScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"checkpoint without at", []string{"-scenario", scen, "-checkpoint", "x.ckpt"}},
+		{"at without checkpoint", []string{"-scenario", scen, "-checkpoint-at", "10"}},
+		{"resume with scenario", []string{"-resume", "x.ckpt", "-scenario", scen}},
+		{"resume with tasks", []string{"-resume", "x.ckpt", "-tasks", "x.tasks"}},
+		{"resume with check", []string{"-resume", "x.ckpt", "-check"}},
+		{"resume with checkpoint", []string{"-resume", "x.ckpt", "-checkpoint", "y.ckpt", "-checkpoint-at", "1"}},
+		{"resume with o", []string{"-resume", "x.ckpt", "-o", "out.log"}},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exited %d, want 2 (%s)", tc.name, code, stderr.String())
+		}
+	}
+
+	// A retained scenario cannot checkpoint; the error explains why.
+	var stdout, stderr bytes.Buffer
+	retained := filepath.Join("..", "..", "testdata", "scenarios", "edf-overload.json")
+	if code := run([]string{"-scenario", retained, "-checkpoint", filepath.Join(dir, "x.ckpt"),
+		"-checkpoint-at", "100"}, &stdout, &stderr); code != 1 {
+		t.Errorf("retained checkpoint exited %d, want 1: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "streaming") && !strings.Contains(stderr.String(), "treatment") {
+		t.Errorf("error does not explain the checkpoint requirements: %s", stderr.String())
+	}
+}

@@ -30,6 +30,17 @@
 // they are recorded, in either collection mode, and the command exits
 // non-zero listing the violations if any axiom breaks. The scenario
 // file equivalent is "verify": true.
+//
+// -checkpoint/-checkpoint-at split a run in two: the simulation stops
+// at the given instant and writes a self-contained checkpoint JSON
+// (scenario + engine + accumulator state); -resume completes it,
+// possibly in another process or on another host. The concatenation
+// of the two -trace-out spills is byte-identical to the unsplit run's
+// trace, and the resumed summary covers the whole run. Checkpoints
+// need streaming collection with treatment none and no servers:
+//
+//	rtrun -scenario long.json -checkpoint half.ckpt -checkpoint-at 1800000
+//	rtrun -resume half.ckpt
 package main
 
 import (
@@ -64,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stream     = fs.Bool("stream", false, "streaming collection: bounded memory, no retained log (long horizons)")
 		traceOut   = fs.String("trace-out", "", "stream the trace to this file during the run ('-' for stdout; needs streaming collection)")
 		check      = fs.Bool("check", false, "verify the run against the scheduling invariants (online oracle); exit non-zero on any violation")
+		ckptPath   = fs.String("checkpoint", "", "stop at -checkpoint-at and write a resumable checkpoint JSON to this file")
+		ckptAt     = fs.Int64("checkpoint-at", -1, "checkpoint instant in ms from time zero (requires -checkpoint)")
+		resumePath = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint (replaces -tasks/-scenario)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,7 +89,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rtrun:", err)
 		return 1
 	}
-	if (*tasksPath == "") == (*scenPath == "") {
+	if (*ckptPath == "") != (*ckptAt < 0) {
+		fmt.Fprintln(stderr, "rtrun: -checkpoint and -checkpoint-at go together")
+		return 2
+	}
+	if *resumePath != "" {
+		// The checkpoint file carries the whole run description
+		// (scenario included), so every flag that would redefine it
+		// conflicts. -trace-out and -summary still apply.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tasks", "scenario", "treatment", "horizon", "fault", "resolution",
+				"stream", "check", "checkpoint", "checkpoint-at", "o":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "rtrun: -%s conflicts with -resume (the checkpoint defines the run)\n", conflict)
+			return 2
+		}
+	} else if (*tasksPath == "") == (*scenPath == "") {
 		fmt.Fprintln(stderr, "rtrun: exactly one of -tasks and -scenario is required")
 		fs.Usage()
 		return 2
@@ -101,7 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sys *sim.System
 		err error
 	)
-	if *scenPath != "" {
+	if *resumePath != "" {
+		cp, cerr := sim.DecodeCheckpointFile(*resumePath)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		sys, err = sim.Resume(cp)
+	} else if *scenPath != "" {
 		sys, err = sim.Load(*scenPath)
 	} else {
 		faults, perr := parseFaults(*faultSpec)
@@ -150,6 +190,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			w = f
 		}
 		sys.SpillTrace(w)
+	}
+	if *ckptPath != "" {
+		cp, err := sys.RunToCheckpoint(sim.Duration(vtime.Millis(*ckptAt)))
+		if err != nil {
+			return fail(err)
+		}
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := sim.EncodeCheckpoint(f, cp); err != nil {
+			return fail(err)
+		}
+		if *summary {
+			fmt.Fprintf(stderr, "checkpoint at %s written to %s (resume with: rtrun -resume %s)\n",
+				vtime.Millis(*ckptAt), *ckptPath, *ckptPath)
+		}
+		return 0
 	}
 	res, err := sys.Run()
 	if err != nil {

@@ -1,0 +1,32 @@
+// Command rtworker is a standalone shard-worker process for
+// process-sharded sweeps: it reads scenario jobs from stdin (the
+// runner.MapProc JSON-lines protocol), runs each with streaming
+// collection, and writes the serialized accumulator state back on
+// stdout until EOF. It is what sim.ShardedSweep spawns when the
+// parent cannot (or should not) re-execute itself — e.g. dispatching
+// workers from a non-Go orchestrator:
+//
+//	{"id": 0, "job": {<scenario JSON with "collect": {"mode": "stream"}>}}
+//
+// in, and
+//
+//	{"id": 0, "result": {"name": ..., "switches": ..., "metrics": {...}}}
+//
+// out, one JSON object per line. Errors (invalid scenario, retained
+// collection, oracle violations) come back as {"id": N, "error": ...}
+// replies rather than crashing the worker.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/sim"
+)
+
+func main() {
+	if err := sim.ServeShardWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtworker:", err)
+		os.Exit(1)
+	}
+}

@@ -30,7 +30,8 @@
 //   - internal/runner — the parallel experiment-execution substrate
 //   - internal/verify — the online invariant oracle (+ gen, the
 //     scenario fuzzer and shrinker)
-//   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp — tools
+//   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp, cmd/rtworker —
+//     tools
 //   - examples/ — runnable walkthroughs (examples/scenario shows
 //     the sim facade end to end)
 //
@@ -135,6 +136,37 @@
 // themselves are replayed through the oracle so they stay valid
 // semantically as well as byte-wise.
 //
+// # Checkpoints and process-sharded sweeps
+//
+// Engine state is serializable: with streaming collection, treatment
+// "none" and no aperiodic servers, a run's complete dynamic state —
+// virtual clock, typed event heap, per-task release/budget/job state,
+// RNG and fault-model positions, plus the metrics.Accumulator
+// (counters and mergeable quantile sketches) — round-trips through a
+// versioned canonical-JSON checkpoint. sim.System.RunToCheckpoint
+// stops at an instant and returns one; sim.Resume (rtrun -checkpoint
+// / -resume on the command line) completes it, possibly in another
+// process. The differential guarantee, pinned across fuzzed scenarios
+// (FuzzCheckpoint) and at every split fraction, is exact: the two
+// trace spills concatenate byte-identically to the unsplit run's
+// trace and the final report is equal on every field, percentiles
+// included.
+//
+// Serializable state is what lets sweeps shard across processes, not
+// just goroutines: internal/runner.MapProc fans jobs out to worker
+// subprocesses over a JSON-lines stdin/stdout protocol (re-dispatching
+// on worker death), and sim.ShardedSweep runs scenario batches on
+// such workers — each streams back its serialized accumulator state,
+// which the parent merges (metrics sketches merge with summed ε
+// bounds) or compares per-scenario. Workers are the re-executed
+// parent binary (sim.RunShardWorkerIfEnv) or the standalone
+// cmd/rtworker, so non-Go orchestrators can dispatch too. The x12
+// registry entry (rtexp -exp x12, run by make ci) proves
+// process-sharded ≡ serial across a 24-scenario sweep.
+//
 // The benchmark harness in bench_test.go regenerates every published
-// artefact: go test -bench=. -benchmem.
+// artefact (go test -bench=. -benchmem); make bench-json distills the
+// BENCH_engine.json/BENCH_stream.json artefacts, and
+// scripts/bench_gate.sh gates CI against the committed baseline under
+// bench/history (>15% events/sec loss fails).
 package repro

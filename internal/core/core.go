@@ -160,6 +160,27 @@ func (s *System) Run() (*Result, error) {
 // admission examples): setup runs after detectors are attached and
 // may schedule events on the engine before it starts.
 func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (*Result, error) {
+	p, err := s.prepare(setup)
+	if err != nil {
+		return nil, err
+	}
+	log := p.eng.Run()
+	return s.finish(p, log)
+}
+
+// prepared is a wired-but-not-yet-run instance: the engine with its
+// sink chain (accumulator, oracle, spill) assembled and the
+// supervisor attached.
+type prepared struct {
+	eng *engine.Engine
+	acc *metrics.Accumulator
+	chk *verify.Checker
+}
+
+// prepare assembles the sink chain and the engine — everything RunWith
+// does before eng.Run(). Split out so the checkpoint entry points
+// (RunToCheckpoint, RunFrom) reuse the exact wiring of a plain run.
+func (s *System) prepare(setup func(e *engine.Engine, sup *detect.Supervisor)) (*prepared, error) {
 	var acc *metrics.Accumulator
 	sink := s.cfg.TraceSink
 	if s.cfg.Collect == engine.Stream {
@@ -219,15 +240,19 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 	if setup != nil {
 		setup(eng, s.sup)
 	}
-	log := eng.Run()
-	if chk != nil {
-		if verr := chk.FinishErr(); verr != nil {
+	return &prepared{eng: eng, acc: acc, chk: chk}, nil
+}
+
+// finish settles a completed run: oracle verdict, report, result.
+func (s *System) finish(p *prepared, log *trace.Log) (*Result, error) {
+	if p.chk != nil {
+		if verr := p.chk.FinishErr(); verr != nil {
 			return nil, fmt.Errorf("core: invariant oracle: %w", verr)
 		}
 	}
 	var rep *metrics.Report
-	if acc != nil {
-		rep = acc.Report()
+	if p.acc != nil {
+		rep = p.acc.Report()
 	} else {
 		rep = metrics.Analyze(log)
 	}
@@ -237,6 +262,84 @@ func (s *System) RunWith(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		Admission:  s.Admission(),
 		Allowance:  s.sup.Table(),
 		Detections: s.sup.Detections(),
-		Switches:   eng.Switches(),
+		Switches:   p.eng.Switches(),
 	}, nil
+}
+
+// CheckpointState pairs the two halves of a mid-run snapshot: the
+// engine's scheduling state and the streaming accumulator's metric
+// state. Together with the originating Config they are everything a
+// resumed run needs; the sim facade wraps them with the scenario into
+// a self-contained file format.
+type CheckpointState struct {
+	Engine  *engine.Checkpoint
+	Metrics *metrics.AccumulatorState
+}
+
+// checkpointable rejects configurations whose runtime state cannot be
+// serialized: detector treatments hold closure-bearing timers, Retain
+// collection carries the full log and job history, and the online
+// oracle is a mid-stream observer whose verdict would be meaningless
+// split across processes (run verify.ForScenario over the concatenated
+// spill trace instead).
+func (s *System) checkpointable() error {
+	if s.cfg.Treatment != detect.NoDetection {
+		return fmt.Errorf("core: checkpointing requires treatment %v (detector timers are not serializable), have %v", detect.NoDetection, s.cfg.Treatment)
+	}
+	if s.cfg.Collect != engine.Stream {
+		return fmt.Errorf("core: checkpointing requires Stream collection")
+	}
+	if s.cfg.Verify {
+		return fmt.Errorf("core: checkpointing cannot combine with the online oracle; replay the concatenated trace through verify instead")
+	}
+	return nil
+}
+
+// RunToCheckpoint simulates the system up to instant at (exclusive of
+// later events), then snapshots it. Events strictly before or at `at`
+// have fired; the partial trace reaches cfg.TraceSink; the returned
+// state resumes with RunFrom on a fresh System built from the same
+// Config. Like Run, it consumes the System.
+func (s *System) RunToCheckpoint(at vtime.Duration) (*CheckpointState, error) {
+	if err := s.checkpointable(); err != nil {
+		return nil, err
+	}
+	p, err := s.prepare(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eng.RunUntil(vtime.Time(at)); err != nil {
+		return nil, err
+	}
+	ecp, err := p.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointState{Engine: ecp, Metrics: p.acc.State()}, nil
+}
+
+// RunFrom restores a checkpoint into this (not-yet-run) System and
+// completes the horizon. The System must be built from the Config that
+// produced the checkpoint; the resumed segment's events reach
+// cfg.TraceSink, and the returned Report covers the whole run —
+// segment one arrives inside the checkpoint's accumulator state.
+func (s *System) RunFrom(cp *CheckpointState) (*Result, error) {
+	if err := s.checkpointable(); err != nil {
+		return nil, err
+	}
+	if cp == nil || cp.Engine == nil || cp.Metrics == nil {
+		return nil, fmt.Errorf("core: RunFrom needs both engine and metrics state")
+	}
+	p, err := s.prepare(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.acc.RestoreState(cp.Metrics); err != nil {
+		return nil, err
+	}
+	if err := p.eng.Restore(cp.Engine); err != nil {
+		return nil, err
+	}
+	log := p.eng.Run()
+	return s.finish(p, log)
 }

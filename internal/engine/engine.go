@@ -646,40 +646,68 @@ func (e *Engine) setCompletion(at vtime.Time) {
 }
 
 // Run executes the simulation to the horizon and returns the log.
+// After a RunUntil (or a Restore), Run picks up from the current
+// instant and completes the remaining horizon.
 func (e *Engine) Run() *trace.Log {
-	for {
-		ev, ok := e.pop()
-		if !ok || ev.at > e.cfg.End {
-			break
-		}
+	for len(e.heap) > 0 && e.heap[0].at <= e.cfg.End {
+		ev, _ := e.pop()
 		e.advance(ev.at)
-		switch ev.kind {
-		case evCallback:
-			fn := e.fns[ev.arg]
-			e.fns[ev.arg] = nil
-			e.freeFns = append(e.freeFns, ev.arg)
-			fn(ev.at)
-		case evRelease:
-			e.release(e.tasks[ev.arg], ev.at)
-		case evDeadline:
-			j := e.jobSlots[ev.arg]
-			e.freeSlot(ev.arg)
-			// Reached only while the job is unfinished — completion
-			// cancels the check — but stay defensive: a stale miss
-			// would corrupt the trace.
-			if !j.done {
-				j.missed = true
-				e.Record(trace.Event{At: ev.at, Kind: trace.DeadlineMiss, Task: j.task.task.Name, Job: j.Q})
-			}
-		case evCompletion:
-			// finishIfDone below observes the predicted completion.
-		}
-		e.finishIfDone(ev.at)
-		e.reschedule(ev.at)
+		e.step(ev)
 	}
 	e.advance(e.cfg.End)
 	e.now = e.cfg.End
 	return e.log
+}
+
+// RunUntil executes the simulation up to and including instant t:
+// every event at t is fully processed, so t is a checkpoint boundary
+// — a Snapshot taken here, restored into a fresh engine and Run to
+// the horizon, reproduces the unsplit run's remaining trace byte for
+// byte (the split merely divides the running job's linear CPU accrual
+// at t, which Executed already accounts for).
+func (e *Engine) RunUntil(t vtime.Time) error {
+	if t < e.now {
+		return fmt.Errorf("engine: RunUntil(%v) is in the past (now %v)", t, e.now)
+	}
+	if t > e.cfg.End {
+		return fmt.Errorf("engine: RunUntil(%v) is past the horizon %v", t, e.cfg.End)
+	}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		ev, _ := e.pop()
+		e.advance(ev.at)
+		e.step(ev)
+	}
+	e.advance(t)
+	e.now = t
+	return nil
+}
+
+// step dispatches one popped event; the caller has advanced to its
+// instant already.
+func (e *Engine) step(ev event) {
+	switch ev.kind {
+	case evCallback:
+		fn := e.fns[ev.arg]
+		e.fns[ev.arg] = nil
+		e.freeFns = append(e.freeFns, ev.arg)
+		fn(ev.at)
+	case evRelease:
+		e.release(e.tasks[ev.arg], ev.at)
+	case evDeadline:
+		j := e.jobSlots[ev.arg]
+		e.freeSlot(ev.arg)
+		// Reached only while the job is unfinished — completion
+		// cancels the check — but stay defensive: a stale miss
+		// would corrupt the trace.
+		if !j.done {
+			j.missed = true
+			e.Record(trace.Event{At: ev.at, Kind: trace.DeadlineMiss, Task: j.task.task.Name, Job: j.Q})
+		}
+	case evCompletion:
+		// finishIfDone below observes the predicted completion.
+	}
+	e.finishIfDone(ev.at)
+	e.reschedule(ev.at)
 }
 
 // advance accrues CPU time to the running job up to instant t.

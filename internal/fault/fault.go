@@ -9,6 +9,8 @@
 package fault
 
 import (
+	"fmt"
+
 	"repro/internal/taskset"
 	"repro/internal/vtime"
 )
@@ -105,6 +107,71 @@ func (r *RandomJitter) ActualCost(_ int64, nominal vtime.Duration) vtime.Duratio
 		return nominal
 	}
 	return nominal + r.rng.DurationIn(0, r.max)
+}
+
+// stateful is the internal face of models carrying mutable draw
+// state (today only RandomJitter's RNG): the pieces a checkpoint must
+// capture for a resumed run to draw the same sequence.
+type stateful interface {
+	faultState() uint64
+	setFaultState(uint64)
+}
+
+func (r *RandomJitter) faultState() uint64     { return r.rng.State() }
+func (r *RandomJitter) setFaultState(s uint64) { r.rng.SetState(s) }
+
+// ModelState flattens the mutable state of a model (recursing through
+// Chain) into a checkpointable word list. Stateless models contribute
+// nothing; a nil model is allowed and yields nil.
+func ModelState(m Model) []uint64 {
+	var out []uint64
+	appendModelState(m, &out)
+	return out
+}
+
+func appendModelState(m Model, out *[]uint64) {
+	switch v := m.(type) {
+	case stateful:
+		*out = append(*out, v.faultState())
+	case Chain:
+		for _, c := range v {
+			appendModelState(c, out)
+		}
+	}
+}
+
+// SetModelState is the restore twin of ModelState: it walks the model
+// in the same order and reinjects the captured words. It fails if the
+// state length does not match the model's shape (a checkpoint from a
+// different fault plan).
+func SetModelState(m Model, state []uint64) error {
+	rest, err := setModelState(m, state)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("fault: model state has %d extra words (checkpoint from a different fault plan?)", len(rest))
+	}
+	return nil
+}
+
+func setModelState(m Model, state []uint64) ([]uint64, error) {
+	switch v := m.(type) {
+	case stateful:
+		if len(state) == 0 {
+			return nil, fmt.Errorf("fault: model state exhausted (checkpoint from a different fault plan?)")
+		}
+		v.setFaultState(state[0])
+		return state[1:], nil
+	case Chain:
+		var err error
+		for _, c := range v {
+			if state, err = setModelState(c, state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return state, nil
 }
 
 // Chain composes models: each model's delta relative to nominal is

@@ -58,6 +58,59 @@ func (s *Sketch) Clone() *Sketch {
 // N returns the number of observations added.
 func (s *Sketch) N() int64 { return s.n }
 
+// Merge folds another sketch into this one (the other is unchanged):
+// the tuple lists interleave by value, and each surviving tuple's
+// rank uncertainty widens by the local uncertainty of its neighbour
+// from the other summary. Merging an εa- and an εb-summary yields an
+// (εa+εb)-summary — the sketch's Epsilon is widened accordingly, so
+// the bound it reports stays honest; one level of merging (shards →
+// aggregate) is the intended use, repeated pairwise merging keeps
+// summing the bounds. The property test pins the merged guarantee
+// against exact ranks over random splits.
+func (s *Sketch) Merge(o *Sketch) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.t = o.n, append([]gkTuple(nil), o.t...)
+		if o.eps > s.eps {
+			s.eps = o.eps
+		}
+		return
+	}
+	merged := make([]gkTuple, 0, len(s.t)+len(o.t))
+	var from []bool // true = tuple came from s
+	i, j := 0, 0
+	for i < len(s.t) || j < len(o.t) {
+		if j >= len(o.t) || (i < len(s.t) && s.t[i].v <= o.t[j].v) {
+			merged = append(merged, s.t[i])
+			from = append(from, true)
+			i++
+		} else {
+			merged = append(merged, o.t[j])
+			from = append(from, false)
+			j++
+		}
+	}
+	// Widen each tuple's delta by the uncertainty band of the next
+	// tuple from the *other* summary: between them, that summary may
+	// hide up to g+delta-1 observations on either side.
+	for k := range merged {
+		for n := k + 1; n < len(merged); n++ {
+			if from[n] != from[k] {
+				if w := merged[n].g + merged[n].delta - 1; w > 0 {
+					merged[k].delta += w
+				}
+				break
+			}
+		}
+	}
+	s.t = merged
+	s.n += o.n
+	s.eps += o.eps
+	s.compress()
+}
+
 // Add inserts one observation.
 func (s *Sketch) Add(v vtime.Duration) {
 	i := sort.Search(len(s.t), func(i int) bool { return s.t[i].v > v })

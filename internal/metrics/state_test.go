@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// appendJob streams one released-and-completed job with the given
+// response time through the accumulator.
+func appendJob(a *Accumulator, task string, q int64, release vtime.Time, resp vtime.Duration) {
+	a.Append(trace.Event{At: release, Kind: trace.JobRelease, Task: task, Job: q})
+	a.Append(trace.Event{At: release.Add(resp), Kind: trace.JobEnd, Task: task, Job: q})
+}
+
+// TestStateRoundTrip: snapshotting a mid-stream accumulator and
+// restoring it into a fresh one reproduces the internal state exactly
+// — continuing the same event stream through both yields identical
+// reports, percentiles included.
+func TestStateRoundTrip(t *testing.T) {
+	l := buildLog()
+	events := l.Events()
+	for _, cut := range []int{0, 1, len(events) / 2, len(events) - 1, len(events)} {
+		a := NewAccumulator()
+		for _, e := range events[:cut] {
+			a.Append(e)
+		}
+		st := a.State()
+
+		// The state survives a JSON round trip (the wire format of the
+		// checkpoint and sharding pipelines).
+		raw, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("cut %d: marshal: %v", cut, err)
+		}
+		var decoded AccumulatorState
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+
+		b := NewAccumulator()
+		if err := b.RestoreState(&decoded); err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		for _, e := range events[cut:] {
+			a.Append(e)
+			b.Append(e)
+		}
+		diffSummaries(t, a.Report(), b.Report())
+		diffPercentiles(t, a.Report(), b.Report())
+	}
+}
+
+// diffPercentiles fails wherever two streaming reports answer a
+// percentile query differently.
+func diffPercentiles(t *testing.T, want, got *Report) {
+	t.Helper()
+	for name := range want.Tasks {
+		for _, p := range []float64{1, 25, 50, 75, 90, 95, 99, 100} {
+			w, wok := want.ResponsePercentile(name, p)
+			g, gok := got.ResponsePercentile(name, p)
+			if wok != gok || w != g {
+				t.Errorf("%s p%v: got (%v, %v), want (%v, %v)", name, p, g, gok, w, wok)
+			}
+		}
+	}
+}
+
+// TestRestoreStateRejects: version mismatches and non-empty targets
+// are refused rather than silently blended.
+func TestRestoreStateRejects(t *testing.T) {
+	a := feed(buildLog())
+	st := a.State()
+
+	bad := *st
+	bad.Version = AccumulatorStateVersion + 1
+	if err := NewAccumulator().RestoreState(&bad); err == nil {
+		t.Error("version mismatch accepted")
+	}
+	if err := a.RestoreState(st); err == nil {
+		t.Error("restore into a non-empty accumulator accepted")
+	}
+}
+
+// TestStateFromReportRoundTrip: a worker serializing its final
+// streaming report and the parent rebuilding it agree field for field
+// and percentile for percentile — the contract the process-sharded
+// sweep leans on.
+func TestStateFromReportRoundTrip(t *testing.T) {
+	rep := feed(buildLog()).Report()
+	st, err := StateFromReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReportFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSummaries(t, rep, back)
+	diffPercentiles(t, rep, back)
+	if !back.Streaming() {
+		t.Error("rebuilt report is not streaming")
+	}
+}
+
+// TestStateFromReportRejectsRetained: a retained (sort-based) report
+// has no sketches to ship.
+func TestStateFromReportRejectsRetained(t *testing.T) {
+	if _, err := StateFromReport(Analyze(buildLog())); err == nil {
+		t.Error("retained report accepted")
+	}
+}
+
+// TestAbsorbMatchesUnsharded: feeding disjoint halves of a stream into
+// two accumulators and absorbing both states into a third reproduces
+// the aggregate counters and moments of an unsharded run exactly, with
+// percentiles within the merged (summed) rank-error bound.
+func TestAbsorbMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var all []vtime.Duration
+	whole, shardA, shardB := NewAccumulator(), NewAccumulator(), NewAccumulator()
+	accs := []*Accumulator{shardA, shardB}
+	for q := int64(0); q < 4000; q++ {
+		resp := vtime.Duration(rng.Int63n(1_000_000))
+		all = append(all, resp)
+		for _, a := range []*Accumulator{whole, accs[q%2]} {
+			appendJob(a, "t1", q, vtime.Time(q)*vtime.Time(vtime.Millisecond), resp)
+		}
+	}
+	agg := NewAccumulator()
+	for _, sh := range accs {
+		st, err := StateFromReport(sh.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Absorb(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRep, gotRep := whole.Report(), agg.Report()
+	diffSummaries(t, wantRep, gotRep)
+
+	// Percentiles: the merged sketch honours the widened εa+εb bound.
+	sorted := append([]vtime.Duration(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{1, 25, 50, 75, 90, 95, 99, 100} {
+		got, ok := gotRep.ResponsePercentile("t1", p)
+		if !ok {
+			t.Fatalf("p%v: no answer", p)
+		}
+		lo, hi := exactWindow(sorted, p/100, 2*DefaultSketchEpsilon)
+		if got < lo || got > hi {
+			t.Errorf("p%v: merged=%v outside rank window [%v, %v]", p, got, lo, hi)
+		}
+	}
+}
+
+// TestAbsorbLiveCollision: two shards reporting the same in-flight job
+// means they overlapped — an error, not a silent merge.
+func TestAbsorbLiveCollision(t *testing.T) {
+	st := &AccumulatorState{
+		Version: AccumulatorStateVersion,
+		Epsilon: DefaultSketchEpsilon,
+		Live:    []LiveJobState{{Task: "t1", Q: 3, Release: 10}},
+	}
+	a := NewAccumulator()
+	if err := a.Absorb(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Absorb(st); err == nil {
+		t.Error("live-job collision accepted")
+	}
+}
+
+// TestSketchMergeBoundProperty: across random splits of several
+// distributions, querying the merged sketch stays within the summed
+// εa+εb rank window of the exact sorted union, and the merged sketch
+// reports that widened bound itself.
+func TestSketchMergeBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gens := map[string]func() vtime.Duration{
+		"uniform": func() vtime.Duration { return vtime.Duration(rng.Int63n(1_000_000)) },
+		"exp":     func() vtime.Duration { return vtime.Duration(rng.ExpFloat64() * 50_000) },
+		"bimodal": func() vtime.Duration { return vtime.Duration(rng.Int63n(1000) + rng.Int63n(2)*900_000) },
+		"sorted":  func() vtime.Duration { return vtime.Duration(rng.Int63n(100)) },
+	}
+	for name, gen := range gens {
+		for _, n := range []int{10, 500, 5000} {
+			a, b := NewSketch(DefaultSketchEpsilon), NewSketch(DefaultSketchEpsilon)
+			var values []vtime.Duration
+			for i := 0; i < n; i++ {
+				v := gen()
+				values = append(values, v)
+				if rng.Intn(2) == 0 {
+					a.Add(v)
+				} else {
+					b.Add(v)
+				}
+			}
+			a.Merge(b)
+			if a.N() != int64(n) {
+				t.Fatalf("%s n=%d: merged N=%d", name, n, a.N())
+			}
+			wantEps := 2 * DefaultSketchEpsilon
+			if math.Abs(a.Epsilon()-wantEps) > 1e-12 {
+				t.Fatalf("%s n=%d: merged eps=%v, want %v", name, n, a.Epsilon(), wantEps)
+			}
+			checkBound(t, name, values, a)
+		}
+	}
+}
+
+// TestSketchMergeEmpty: merging with or into an empty sketch is the
+// identity on the data (no widening for a summary holding nothing).
+func TestSketchMergeEmpty(t *testing.T) {
+	full := NewSketch(DefaultSketchEpsilon)
+	for i := 0; i < 100; i++ {
+		full.Add(vtime.Duration(i))
+	}
+	into := full.Clone()
+	into.Merge(NewSketch(DefaultSketchEpsilon))
+	if !reflect.DeepEqual(into, full) {
+		t.Error("merging an empty sketch changed the receiver")
+	}
+	empty := NewSketch(DefaultSketchEpsilon)
+	empty.Merge(full)
+	if empty.N() != full.N() || empty.Epsilon() != full.Epsilon() {
+		t.Errorf("empty.Merge(full): n=%d eps=%v, want n=%d eps=%v",
+			empty.N(), empty.Epsilon(), full.N(), full.Epsilon())
+	}
+	v1, _ := empty.Query(0.5)
+	v2, _ := full.Query(0.5)
+	if v1 != v2 {
+		t.Errorf("median after merge into empty: %v, want %v", v1, v2)
+	}
+}

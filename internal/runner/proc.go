@@ -1,0 +1,273 @@
+package runner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"sort"
+	"sync"
+)
+
+// Process-level execution: MapProc is Map with subprocesses instead of
+// goroutines — the parent fans jobs across N worker processes over a
+// JSON-lines stdin/stdout protocol, and a worker dying mid-job gets
+// its job re-dispatched to a fresh process. It is the substrate of the
+// process-sharded sweeps (sim.ShardedSweep): each worker carries its
+// own address space, so a long-horizon shard's memory dies with it,
+// and a crash loses one job, not the sweep.
+//
+// Protocol, one JSON object per line:
+//
+//	parent → worker:  {"id": 3, "job": <raw JSON>}
+//	worker → parent:  {"id": 3, "result": <raw JSON>}
+//	               or {"id": 3, "error": "message"}
+//
+// One job is in flight per worker at a time; a worker answering an id
+// it was not asked is a protocol error. Closing the worker's stdin
+// tells it to exit (ServeProc returns on EOF).
+
+// ProcOptions tunes a MapProc call.
+type ProcOptions struct {
+	// Workers is the subprocess count. <= 0 means 1: unlike goroutine
+	// parallelism there is no safe hardware-derived default — every
+	// worker is a full process.
+	Workers int
+	// Command builds the exec.Cmd for one worker (argv only — MapProc
+	// wires the pipes). Typically the current binary re-executing
+	// itself in a serve mode gated by an environment variable.
+	Command func() *exec.Cmd
+	// MaxRetries bounds how many times one job is re-dispatched after
+	// worker deaths before the sweep fails (<= 0 means 2).
+	MaxRetries int
+	// Progress, as in Options: serialized, strictly increasing done
+	// counts.
+	Progress func(done, total int)
+}
+
+func (o ProcOptions) workers(total int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = 1
+	}
+	if w > total {
+		w = total
+	}
+	return w
+}
+
+func (o ProcOptions) retries() int {
+	if o.MaxRetries <= 0 {
+		return 2
+	}
+	return o.MaxRetries
+}
+
+// procRequest and procReply are the wire frames.
+type procRequest struct {
+	ID  int             `json:"id"`
+	Job json.RawMessage `json:"job"`
+}
+
+type procReply struct {
+	ID     int             `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// MapProc runs every job through a pool of worker subprocesses and
+// returns the raw results in input order. A job whose worker replies
+// {"error": ...} fails the sweep (the job is deterministic — retrying
+// it would fail again); a job whose worker *dies* is re-dispatched to
+// a fresh worker up to MaxRetries times, since process death is an
+// environmental fault, not a property of the job.
+func MapProc(ctx context.Context, opt ProcOptions, jobs []json.RawMessage) ([]json.RawMessage, error) {
+	total := len(jobs)
+	if total == 0 {
+		return []json.RawMessage{}, nil
+	}
+	if opt.Command == nil {
+		return nil, fmt.Errorf("runner: MapProc needs a Command")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan procItem, total) // re-dispatch must never block a worker goroutine
+	for i := range jobs {
+		queue <- procItem{index: i}
+	}
+
+	results := make([]json.RawMessage, total)
+	var (
+		mu      sync.Mutex
+		errs    []*JobError
+		done    int
+		pending = total
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs = append(errs, &JobError{Index: i, Err: err})
+		mu.Unlock()
+		cancel()
+	}
+	complete := func(i int, res json.RawMessage) {
+		mu.Lock()
+		results[i] = res
+		done++
+		pending--
+		if opt.Progress != nil {
+			opt.Progress(done, total)
+		}
+		drained := pending == 0
+		mu.Unlock()
+		if drained {
+			cancel() // all jobs answered: release the workers' queue reads
+		}
+	}
+	requeue := func(item procItem, cause error) {
+		if item.retries >= opt.retries() {
+			fail(item.index, fmt.Errorf("job lost to %d worker death(s), last: %w", item.retries+1, cause))
+			return
+		}
+		item.retries++
+		queue <- item
+	}
+
+	workers := opt.workers(total)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Each iteration of this loop is one worker process
+			// lifetime; the loop respawns after a death as long as
+			// jobs remain.
+			for ctx.Err() == nil {
+				if err := runProcWorker(ctx, opt, jobs, queue, complete, fail, requeue); err != nil {
+					fail(-1, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+		joined := make([]error, len(errs))
+		for i, e := range errs {
+			joined[i] = e
+		}
+		return nil, errors.Join(joined...)
+	}
+	if done != total {
+		return nil, ctx.Err()
+	}
+	return results, nil
+}
+
+// procItem is one queued job dispatch with its death-retry count.
+type procItem struct {
+	index   int
+	retries int
+}
+
+// runProcWorker spawns one worker process and feeds it jobs until the
+// queue drains, the context cancels, or the process dies. A death
+// with a job in flight re-queues that job and returns nil (the caller
+// respawns); an unspawnable or protocol-breaking worker returns an
+// error (retrying would loop forever).
+func runProcWorker(ctx context.Context, opt ProcOptions, jobs []json.RawMessage,
+	queue chan procItem,
+	complete func(int, json.RawMessage), fail func(int, error),
+	requeue func(procItem, error),
+) error {
+	cmd := opt.Command()
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("runner: worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("runner: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("runner: spawning worker: %w", err)
+	}
+	// On cancellation the worker exits itself on stdin EOF; kill guards
+	// against a wedged one.
+	stop := context.AfterFunc(ctx, func() { _ = cmd.Process.Kill() })
+	defer stop()
+	defer func() {
+		_ = stdin.Close()
+		_ = cmd.Wait()
+	}()
+
+	enc := json.NewEncoder(stdin)
+	dec := json.NewDecoder(bufio.NewReader(stdout))
+	for {
+		var item procItem
+		select {
+		case item = <-queue:
+		case <-ctx.Done():
+			return nil
+		}
+		if err := enc.Encode(procRequest{ID: item.index, Job: jobs[item.index]}); err != nil {
+			if ctx.Err() != nil {
+				return nil // the kill was ours, not a worker fault
+			}
+			requeue(item, fmt.Errorf("writing job: %w", err))
+			return nil // pipe broke: the process is dead or dying
+		}
+		var reply procReply
+		if err := dec.Decode(&reply); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			requeue(item, fmt.Errorf("reading reply: %w", err))
+			return nil
+		}
+		if reply.ID != item.index {
+			fail(item.index, fmt.Errorf("worker answered job %d, asked %d", reply.ID, item.index))
+			return nil
+		}
+		if reply.Error != "" {
+			fail(item.index, errors.New(reply.Error))
+			continue
+		}
+		complete(item.index, reply.Result)
+	}
+}
+
+// ServeProc is the worker side of MapProc: it reads job frames from r,
+// applies fn, and writes reply frames to w until EOF. A job error
+// becomes an error reply, not a crash — the parent decides. It is
+// meant to be called from a main() gated by an environment variable,
+// with os.Stdin/os.Stdout.
+func ServeProc(r io.Reader, w io.Writer, fn func(job json.RawMessage) (json.RawMessage, error)) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	enc := json.NewEncoder(w)
+	for {
+		var req procRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("runner: worker decoding job: %w", err)
+		}
+		reply := procReply{ID: req.ID}
+		if res, err := fn(req.Job); err != nil {
+			reply.Error = err.Error()
+		} else {
+			reply.Result = res
+		}
+		if err := enc.Encode(reply); err != nil {
+			return fmt.Errorf("runner: worker writing reply: %w", err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMain turns the test binary into a MapProc worker when the
+// helper-process variable is set (the classic os/exec self-exec test
+// pattern): the worker doubles the integer job, errors on negative
+// ones, and — when RUNNER_CRASH_AFTER is set — exits mid-stream after
+// serving that many jobs, simulating a worker death.
+func TestMain(m *testing.M) {
+	if os.Getenv("RUNNER_HELPER_PROCESS") == "" {
+		os.Exit(m.Run())
+	}
+	crashAfter := -1
+	if s := os.Getenv("RUNNER_CRASH_AFTER"); s != "" {
+		crashAfter, _ = strconv.Atoi(s)
+	}
+	served := 0
+	err := ServeProc(os.Stdin, os.Stdout, func(job json.RawMessage) (json.RawMessage, error) {
+		if crashAfter >= 0 && served >= crashAfter {
+			os.Exit(3) // died with the job in flight
+		}
+		served++
+		var n int
+		if err := json.Unmarshal(job, &n); err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative job %d", n)
+		}
+		return json.Marshal(2 * n)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperCommand re-executes this test binary as a worker.
+func helperCommand(extraEnv ...string) func() *exec.Cmd {
+	return func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "RUNNER_HELPER_PROCESS=1")
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+// intJobs encodes 0..n-1 as job frames.
+func intJobs(n int) []json.RawMessage {
+	jobs := make([]json.RawMessage, n)
+	for i := range jobs {
+		jobs[i], _ = json.Marshal(i)
+	}
+	return jobs
+}
+
+// wantDoubled asserts results arrive complete and in input order.
+func wantDoubled(t *testing.T, results []json.RawMessage, n int) {
+	t.Helper()
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, raw := range results {
+		var v int
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if v != 2*i {
+			t.Errorf("result %d = %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+// TestMapProcOrdered: results come back in input order across several
+// workers, each job answered exactly once.
+func TestMapProcOrdered(t *testing.T) {
+	const n = 20
+	var last int
+	results, err := MapProc(context.Background(), ProcOptions{
+		Workers: 3,
+		Command: helperCommand(),
+		Progress: func(done, total int) {
+			if done <= last || total != n {
+				t.Errorf("progress regressed: done=%d after %d (total %d)", done, last, total)
+			}
+			last = done
+		},
+	}, intJobs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDoubled(t, results, n)
+	if last != n {
+		t.Errorf("final progress %d, want %d", last, n)
+	}
+}
+
+// TestMapProcSingleWorker: the degenerate pool still drains everything.
+func TestMapProcSingleWorker(t *testing.T) {
+	const n = 5
+	results, err := MapProc(context.Background(), ProcOptions{Command: helperCommand()}, intJobs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDoubled(t, results, n)
+}
+
+// TestMapProcWorkerDeath: a worker that exits mid-stream loses only
+// the in-flight job, which a respawned worker then serves — the sweep
+// completes with every result intact.
+func TestMapProcWorkerDeath(t *testing.T) {
+	const n = 12
+	results, err := MapProc(context.Background(), ProcOptions{
+		Workers: 2,
+		Command: helperCommand("RUNNER_CRASH_AFTER=3"),
+	}, intJobs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDoubled(t, results, n)
+}
+
+// TestMapProcPersistentDeath: a worker that dies before serving
+// anything exhausts the retry budget and the job's loss is reported,
+// not hung.
+func TestMapProcPersistentDeath(t *testing.T) {
+	_, err := MapProc(context.Background(), ProcOptions{
+		Workers:    2,
+		MaxRetries: 1,
+		Command:    helperCommand("RUNNER_CRASH_AFTER=0"),
+	}, intJobs(4))
+	if err == nil {
+		t.Fatal("sweep with always-crashing workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "worker death") {
+		t.Errorf("error %v does not mention worker death", err)
+	}
+}
+
+// TestMapProcJobError: a worker-reported job error fails the sweep
+// with the job's index and message, without retrying (the job is
+// deterministic).
+func TestMapProcJobError(t *testing.T) {
+	jobs := intJobs(4)
+	jobs[2], _ = json.Marshal(-7)
+	_, err := MapProc(context.Background(), ProcOptions{Workers: 2, Command: helperCommand()}, jobs)
+	if err == nil {
+		t.Fatal("sweep with a failing job succeeded")
+	}
+	var jerr *JobError
+	if !asJobError(err, &jerr) || jerr.Index != 2 {
+		t.Fatalf("error %v does not identify job 2", err)
+	}
+	if !strings.Contains(err.Error(), "negative job -7") {
+		t.Errorf("error %v lost the worker's message", err)
+	}
+}
+
+// TestMapProcCancel: cancelling the context stops the sweep promptly.
+func TestMapProcCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapProc(ctx, ProcOptions{Workers: 2, Command: helperCommand()}, intJobs(50)); err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+}
+
+// TestMapProcEmpty: no jobs, no processes.
+func TestMapProcEmpty(t *testing.T) {
+	results, err := MapProc(context.Background(), ProcOptions{Command: helperCommand()}, nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(results))
+	}
+}
+
+// asJobError unwraps through errors.Join to the first JobError.
+func asJobError(err error, target **JobError) bool {
+	type unwrapper interface{ Unwrap() []error }
+	if je, ok := err.(*JobError); ok {
+		*target = je
+		return true
+	}
+	if multi, ok := err.(unwrapper); ok {
+		for _, e := range multi.Unwrap() {
+			if asJobError(e, target) {
+				return true
+			}
+		}
+	}
+	return false
+}

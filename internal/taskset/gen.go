@@ -129,6 +129,14 @@ type Rand struct{ state uint64 }
 // NewRand seeds a SplitMix64 stream.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// State exposes the stream position for checkpointing: a Rand built
+// with SetState(State()) continues the exact same draw sequence.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState repositions the stream (the checkpoint-restore twin of
+// State).
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,144 @@
+package gen_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/verify/gen"
+	"repro/sim"
+)
+
+// checkpointDifferential runs the checkpointable scenario unsplit and
+// split at the given horizon fraction (checkpoint → JSON round trip →
+// resume) and returns an error on the first divergence: stitched
+// trace not byte-identical, report summaries unequal, or the stitched
+// trace violating a scheduling axiom.
+func checkpointDifferential(sc sim.Scenario, frac float64) error {
+	whole, wholeRes, err := spillRun(sim.FromScenario(sc))
+	if err != nil {
+		return fmt.Errorf("unsplit: %w", err)
+	}
+
+	sys, err := sim.FromScenario(sc)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	var segA bytes.Buffer
+	sys.SpillTrace(&segA)
+	cp, err := sys.RunToCheckpoint(sim.Duration(float64(sc.Horizon) * frac))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	raw, err := sim.MarshalCheckpoint(cp)
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	stitched, splitRes, err := spillRun(sim.Resume(mustDecode(raw)))
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	stitched = segA.String() + stitched
+
+	if stitched != whole {
+		return fmt.Errorf("stitched trace diverges from unsplit (%d vs %d bytes)", len(stitched), len(whole))
+	}
+	if err := diffReports(wholeRes, splitRes); err != nil {
+		return err
+	}
+	chk, err := verify.ForScenario(&sc)
+	if err != nil {
+		return err
+	}
+	log, err := trace.DecodeString(stitched)
+	if err != nil {
+		return fmt.Errorf("decode stitched trace: %w", err)
+	}
+	for _, e := range log.Events() {
+		chk.Append(e)
+	}
+	if verr := chk.FinishErr(); verr != nil {
+		return fmt.Errorf("stitched trace violates the oracle: %w", verr)
+	}
+	return nil
+}
+
+func mustDecode(raw []byte) *sim.Checkpoint {
+	cp, err := sim.DecodeCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+// spillRun runs the system with the trace spilled and returns the
+// encoded trace plus the result.
+func spillRun(sys *sim.System, err error) (string, *sim.RunResult, error) {
+	if err != nil {
+		return "", nil, err
+	}
+	var spill bytes.Buffer
+	sys.SpillTrace(&spill)
+	res, err := sys.Run()
+	if err != nil {
+		return "", nil, err
+	}
+	return spill.String(), res, nil
+}
+
+// diffReports compares what the checkpoint guarantee promises to
+// reproduce exactly: switches and every task-summary field.
+func diffReports(a, b *sim.RunResult) error {
+	if a.Switches != b.Switches {
+		return fmt.Errorf("switches %d vs %d", a.Switches, b.Switches)
+	}
+	if len(a.Report.Tasks) != len(b.Report.Tasks) {
+		return fmt.Errorf("task count %d vs %d", len(a.Report.Tasks), len(b.Report.Tasks))
+	}
+	for name, ra := range a.Report.Tasks {
+		rb := b.Report.Tasks[name]
+		if rb == nil {
+			return fmt.Errorf("task %s missing from split report", name)
+		}
+		if *ra != *rb {
+			return fmt.Errorf("task %s summary %+v vs %+v", name, ra, rb)
+		}
+	}
+	return nil
+}
+
+// FuzzCheckpoint is the native fuzz target over the checkpoint space:
+// any seed derives a checkpointable scenario, and any split fraction
+// of its horizon must satisfy the differential guarantee — stitched
+// trace byte-identical to the unsplit run, equal reports, and a
+// stitched trace that passes the invariant oracle.
+//
+// CI runs this as a short smoke on every PR alongside FuzzScenario:
+// go test -fuzz=FuzzCheckpoint ./internal/verify/gen
+func FuzzCheckpoint(f *testing.F) {
+	for seed := uint64(0); seed < 6; seed++ {
+		f.Add(seed, uint8(seed*47))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, fracByte uint8) {
+		sc := gen.Checkpointable(seed)
+		frac := float64(fracByte) / 255
+		if err := checkpointDifferential(sc, frac); err != nil {
+			t.Fatalf("seed %#x frac %.3f: %v", seed, frac, err)
+		}
+	})
+}
+
+// TestFuzzCheckpointSeedsSmoke keeps the fuzz body exercised under
+// plain `go test`.
+func TestFuzzCheckpointSeedsSmoke(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		sc := gen.Checkpointable(seed)
+		for _, frac := range []float64{0.2, 0.6, 0.95} {
+			if err := checkpointDifferential(sc, frac); err != nil {
+				t.Errorf("seed %d frac %.2f: %v", seed, frac, err)
+			}
+		}
+	}
+}

@@ -144,6 +144,31 @@ func Scenario(seed uint64) scenario.Scenario {
 	return sc
 }
 
+// Checkpointable derives a valid *checkpointable* scenario from the
+// seed: the Scenario derivation restricted to the states a mid-run
+// snapshot can serialize — treatment none, no polling servers,
+// streaming collection, and a policy without closure-bearing timers
+// (d-over's latest-start-time watchdog remaps to edf; the remap
+// preserves the rest of the seed's draw, so a failing seed reproduces
+// here the same way it does under Scenario). It feeds the
+// checkpoint/resume differential tests and FuzzCheckpoint.
+func Checkpointable(seed uint64) scenario.Scenario {
+	sc := Scenario(seed)
+	sc.Name = fmt.Sprintf("gen-ckpt-%016x", seed)
+	sc.Description = "seeded random checkpointable scenario (internal/verify/gen)"
+	sc.Treatment = "none"
+	sc.TimerResolution = 0 // detector knob; meaningless without detection
+	sc.Servers = nil
+	sc.Collect = &scenario.Collect{Mode: scenario.CollectStream}
+	if sc.Policy == "d-over" {
+		sc.Policy = "edf"
+	}
+	if err := sc.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: seed %#x produced an invalid checkpointable scenario: %v", seed, err)) // generator bug
+	}
+	return sc
+}
+
 // addServer appends a polling server that keeps the system feasible;
 // on rejection the scenario simply stays server-free.
 func addServer(sc *scenario.Scenario, r *taskset.Rand, set *taskset.Set) {

@@ -8,14 +8,33 @@
 # series, and the derived sub-linearity ratio — per-event cost at the
 # largest size over the smallest, next to the task-count ratio it
 # should stay far below. Fails when either benchmark family is
-# missing so CI notices a silently skipped run.
+# missing so CI notices a silently skipped run, and when any
+# events_per_sec field is absent — that field feeds the perf gate
+# (scripts/bench_gate.sh), and a silent "null" there would let a
+# benchmark rename or a dropped ReportMetric disable the gate without
+# anyone noticing.
 set -euo pipefail
 
 in=${1:-bench.txt}
 out=${2:-BENCH_engine.json}
+# The gate's focused run (make bench-gate) measures only the
+# throughput pair; REQUIRE_SCALING=0 lets it use this extractor
+# without the scaling family. The full bench-json artifact keeps the
+# default (both families mandatory).
+require_scaling=${REQUIRE_SCALING:-1}
 
-awk '
+awk -v require_scaling="$require_scaling" '
 function val(k) { return (k in v) ? v[k] : "null" }
+# Gate-feeding fields are mandatory: record the miss and fail in END
+# (after the full report, so one run surfaces every missing field).
+function must(k) {
+    if (!(k in v)) {
+        printf "bench_engine_json: %s is missing %s\n", name, k > "/dev/stderr"
+        missing = 1
+        return "null"
+    }
+    return v[k]
+}
 BEGIN { printf "[\n"; sep = "" }
 /^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineScaling\// {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -24,7 +43,7 @@ BEGIN { printf "[\n"; sep = "" }
     if (name ~ /^BenchmarkEngineScaling\//) {
         tasks = name; sub(/^BenchmarkEngineScaling\/tasks=/, "", tasks)
         printf "%s  {\"benchmark\":\"%s\",\"tasks\":%s,\"events\":%s,\"switches\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
-            sep, name, tasks, val("events"), val("switches"), val("events_per_sec"), val("B/op"), val("allocs/op")
+            sep, name, tasks, val("events"), val("switches"), must("events_per_sec"), val("B/op"), val("allocs/op")
         if (v["events_per_sec"] > 0) {
             ns = 1e9 / v["events_per_sec"]
             if (mintasks == 0 || tasks + 0 < mintasks) { mintasks = tasks; minns = ns }
@@ -34,14 +53,18 @@ BEGIN { printf "[\n"; sep = "" }
     } else {
         mode = (name ~ /Retain$/) ? "retain" : "stream"
         printf "%s  {\"benchmark\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
-            sep, name, mode, val("ns/op"), val("trace_events"), val("events_per_sec"), val("B/op"), val("allocs/op")
+            sep, name, mode, must("ns/op"), val("trace_events"), must("events_per_sec"), val("B/op"), val("allocs/op")
         seen[mode] = 1
     }
     sep = ",\n"
 }
 END {
-    if (!("stream" in seen) || !scaling) {
+    if (!("stream" in seen) || (!scaling && require_scaling)) {
         print "bench_engine_json: BenchmarkEngineThroughput / BenchmarkEngineScaling missing from input" > "/dev/stderr"
+        exit 1
+    }
+    if (missing) {
+        print "bench_engine_json: mandatory gate-feeding field(s) missing (see above)" > "/dev/stderr"
         exit 1
     }
     if (maxns > 0 && minns > 0) {

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench_gate.sh [fresh BENCH_gate.json] [bench/history]
+#
+# Perf-regression gate: compares a fresh gate capture (as written by
+# scripts/bench_engine_json.sh from the focused `make bench-gate`
+# run) against the last committed baseline in bench/history/ and
+# exits non-zero when any benchmark's events_per_sec dropped more
+# than GATE_TOLERANCE_PCT percent (default 15). A benchmark present
+# in the baseline but absent (or null) in the fresh run is also a
+# failure — a rename must come with a baseline refresh, not silently
+# leave the gate with nothing to check.
+#
+# Both sides may carry several entries per benchmark (-count N runs);
+# the gate compares the best draw on each side — on a contended 1-CPU
+# runner the max over a few repetitions is a far stabler proxy for
+# capacity than any single draw, which jitters by 20%+ on the
+# sub-millisecond benchmarks. On top of that, the 15% default
+# tolerance is a deliberate noise allowance: the gate is there to
+# catch step changes — an accidental O(n) scan on the hot path, a
+# lost allocation-free fast path — not single-digit drift. Speedups
+# never fail; refresh the baseline (see bench/history/README.md) when
+# one should become the new floor.
+set -euo pipefail
+
+fresh=${1:-BENCH_gate.json}
+history=${2:-bench/history}
+tol=${GATE_TOLERANCE_PCT:-15}
+
+if [ ! -f "$fresh" ]; then
+    echo "bench_gate: fresh results $fresh not found (run make bench-gate first)" >&2
+    exit 1
+fi
+
+# The baseline is the highest-numbered history entry; entries are
+# append-only, so lexicographic order is chronological order. Gate
+# against the entry's focused BENCH_gate.json capture, falling back
+# to its full BENCH_engine.json artifact for entries predating the
+# focused-capture split.
+baseline_dir=$(find "$history" -mindepth 1 -maxdepth 1 -type d | LC_ALL=C sort | tail -n 1)
+base=$baseline_dir/BENCH_gate.json
+if [ -n "$baseline_dir" ] && [ ! -f "$base" ]; then
+    base=$baseline_dir/BENCH_engine.json
+fi
+if [ -z "$baseline_dir" ] || [ ! -f "$base" ]; then
+    echo "bench_gate: no committed baseline under $history" >&2
+    exit 1
+fi
+
+echo "bench_gate: fresh $fresh vs baseline $base (tolerance ${tol}%)"
+
+failed=0
+compared=0
+while read -r name basev; do
+    freshv=$(jq -r --arg n "$name" \
+        '[.[] | select(.benchmark == $n) | .events_per_sec | select(. != null and . > 0)]
+         | if length == 0 then "missing" else max end' "$fresh")
+    if [ "$freshv" = "missing" ]; then
+        echo "bench_gate: FAIL $name: in baseline but missing from the fresh run" >&2
+        failed=1
+        continue
+    fi
+    compared=$((compared + 1))
+    # Verdict and rounded percent change in one jq pass (bash has no
+    # floats); "FAIL -31.2%" or "ok -4%".
+    line=$(jq -rn --argjson f "$freshv" --argjson b "$basev" --argjson tol "$tol" '
+        (if $f < $b * (1 - $tol / 100) then "FAIL" else "ok" end)
+          + " \(($f - $b) / $b * 1000 | round / 10)"')
+    verdict=${line%% *}
+    pct=${line#* }
+    printf 'bench_gate: %-4s %s: %s -> %s events/sec (%s%%)\n' \
+        "$verdict" "$name" "$basev" "$freshv" "$pct"
+    if [ "$verdict" = FAIL ]; then failed=1; fi
+done < <(jq -r 'map(select(.events_per_sec != null and .events_per_sec > 0))
+    | group_by(.benchmark)[]
+    | "\(.[0].benchmark) \(map(.events_per_sec) | max)"' "$base")
+
+if [ "$compared" -eq 0 ]; then
+    echo "bench_gate: baseline $base has no events_per_sec entries — nothing gated" >&2
+    exit 1
+fi
+if [ "$failed" -ne 0 ]; then
+    echo "bench_gate: events/sec regressed beyond ${tol}% of $base" >&2
+    echo "bench_gate: if intentional, refresh the baseline (bench/history/README.md)" >&2
+    exit 1
+fi
+echo "bench_gate: ok — $compared benchmark(s) within ${tol}% of baseline"

@@ -5,13 +5,26 @@
 # pair from `go test -bench . -benchmem` output into a JSON artefact
 # comparing the two collection modes: ns/op, B/op, allocs/op, the
 # derived per-job costs, and the retain/stream ratios. Fails when
-# either benchmark is missing so CI notices a silently skipped pair.
+# either benchmark is missing so CI notices a silently skipped pair,
+# and when any field the arithmetic depends on is absent — an empty
+# value would otherwise produce invalid JSON (or a silent zero ratio)
+# instead of a red run.
 set -euo pipefail
 
 in=${1:-bench.txt}
 out=${2:-BENCH_stream.json}
 
 awk '
+# Every field below feeds arithmetic or the JSON verbatim: a miss must
+# be loud, not an empty substitution.
+function must(k) {
+    if (!(k in v)) {
+        printf "bench_stream_json: %s is missing %s\n", name, k > "/dev/stderr"
+        missing = 1
+        return "null"
+    }
+    return v[k]
+}
 BEGIN { printf "[\n"; sep = "" }
 /^BenchmarkCollect(Retain|Stream)10m/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -19,7 +32,7 @@ BEGIN { printf "[\n"; sep = "" }
     for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
     mode = (name ~ /Retain/) ? "retain" : "stream"
     printf "%s  {\"benchmark\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"jobs\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"allocs_per_job\":%.3f,\"bytes_per_job\":%.3f}", \
-        sep, name, mode, v["ns/op"], v["jobs"], v["B/op"], v["allocs/op"], \
+        sep, name, mode, must("ns/op"), must("jobs"), must("B/op"), must("allocs/op"), \
         v["allocs/op"] / v["jobs"], v["B/op"] / v["jobs"]
     sep = ",\n"
     seen[mode] = 1
@@ -28,6 +41,10 @@ BEGIN { printf "[\n"; sep = "" }
 END {
     if (!("retain" in seen) || !("stream" in seen)) {
         print "bench_stream_json: BenchmarkCollectRetain10m/Stream10m missing from input" > "/dev/stderr"
+        exit 1
+    }
+    if (missing) {
+        print "bench_stream_json: mandatory field(s) missing (see above)" > "/dev/stderr"
         exit 1
     }
     printf "%s  {\"benchmark\":\"retain_vs_stream\",\"ns_ratio\":%.3f,\"bytes_ratio\":%.3f,\"allocs_ratio\":%.3f}\n", \

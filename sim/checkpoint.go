@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// CheckpointVersion stamps the sim-level checkpoint file format.
+const CheckpointVersion = 1
+
+// Checkpoint is a self-contained mid-run snapshot: the scenario that
+// produced it plus the engine and metric state at the boundary
+// instant. It is pure canonical JSON (EncodeCheckpoint /
+// DecodeCheckpoint) — a run split at the boundary with RunToCheckpoint
+// and Resume produces a byte-identical spilled trace and an equal
+// report to the unsplit run, which is what lets a long-horizon sweep
+// migrate across processes or hosts.
+//
+// Checkpoints cover streaming-collection scenarios with treatment
+// none, no servers, and no online oracle — the restrictions that keep
+// every piece of runtime state plain data (see engine.Checkpoint).
+type Checkpoint struct {
+	Version  int                       `json:"version"`
+	At       Duration                  `json:"at"`
+	Scenario Scenario                  `json:"scenario"`
+	Engine   *engine.Checkpoint        `json:"engine"`
+	Metrics  *metrics.AccumulatorState `json:"metrics"`
+}
+
+// EncodeCheckpoint writes the canonical JSON form (two-space indent,
+// trailing newline — the scenario codec's conventions).
+func EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(cp)
+}
+
+// MarshalCheckpoint returns the canonical JSON encoding.
+func MarshalCheckpoint(cp *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, cp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint reads and validates one checkpoint. Unknown fields
+// are rejected, like the scenario codec.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cp Checkpoint
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Engine == nil || cp.Metrics == nil {
+		return nil, fmt.Errorf("sim: checkpoint is missing engine or metrics state")
+	}
+	if err := cp.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// DecodeCheckpointFile decodes the checkpoint stored at path.
+func DecodeCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// checkpointable rejects scenarios whose runtime state cannot be
+// serialized. The conditions mirror core and engine (which also
+// enforce them) so the error surfaces before any simulation work:
+// detector treatments and polling servers hold closure-bearing
+// timers, d-over arms a latest-start-time watchdog, retained runs
+// carry the full log, and the online oracle's verdict is only
+// meaningful over a whole trace (replay the concatenated spill
+// through rtrun -check or verify.ForScenario instead).
+func (s *System) checkpointable() error {
+	tr, err := ParseTreatment(s.sc.Treatment)
+	if err != nil {
+		return err
+	}
+	switch {
+	case tr != detect.NoDetection:
+		return fmt.Errorf("sim: checkpointing requires treatment none, have %q", s.sc.Treatment)
+	case len(s.sc.Servers) > 0:
+		return fmt.Errorf("sim: checkpointing cannot combine with polling servers (their timers are not serializable)")
+	case s.sc.Policy == "d-over":
+		return fmt.Errorf("sim: policy d-over is not checkpointable (its latest-start-time watchdog holds timers)")
+	case !s.sc.Streaming():
+		return fmt.Errorf("sim: checkpointing requires streaming collection (\"collect\": {\"mode\": %q})", CollectStream)
+	case s.sc.Verify:
+		return fmt.Errorf("sim: checkpointing cannot combine with the online oracle; replay the concatenated trace instead")
+	}
+	return nil
+}
+
+// compileStream builds the runnable pieces of a checkpointable
+// scenario (no servers by construction).
+func (s *System) compileStream() (*taskset.Set, fault.Plan, engine.Policy, error) {
+	set, err := taskset.New(taskSlice(s.sc.Tasks)...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := s.sc.FaultPlan()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pol, err := engine.NewPolicy(s.sc.Policy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return set, plan, pol, nil
+}
+
+// coreConfig maps a checkpointable scenario onto core.Config.
+func (s *System) coreConfig(set *taskset.Set, plan fault.Plan, pol engine.Policy, sink trace.Sink) core.Config {
+	return core.Config{
+		Tasks:         set,
+		Treatment:     detect.NoDetection,
+		Faults:        plan,
+		Horizon:       s.sc.Horizon.D(),
+		StopPoll:      s.sc.StopPoll.D(),
+		StopJitterMax: s.sc.StopJitterMax.D(),
+		Seed:          s.sc.Seed,
+		ContextSwitch: s.sc.ContextSwitch.D(),
+		Policy:        pol,
+		Collect:       engine.Stream,
+		TraceSink:     sink,
+	}
+}
+
+// engineConfig maps a checkpointable scenario onto the bare engine
+// (the SkipAdmission path).
+func (s *System) engineConfig(set *taskset.Set, plan fault.Plan, pol engine.Policy, sink trace.Sink) engine.Config {
+	return engine.Config{
+		Tasks:         set,
+		Faults:        plan,
+		End:           vtime.Time(s.sc.Horizon),
+		Policy:        pol,
+		StopPoll:      s.sc.StopPoll.D(),
+		StopJitterMax: s.sc.StopJitterMax.D(),
+		Seed:          s.sc.Seed,
+		ContextSwitch: s.sc.ContextSwitch.D(),
+		Collect:       engine.Stream,
+		Sink:          sink,
+	}
+}
+
+// RunToCheckpoint simulates the scenario up to instant at (every event
+// with a timestamp ≤ at fires), snapshots, and returns the
+// self-contained checkpoint. The partial trace reaches the SpillTrace
+// writer; Resume on the checkpoint completes the run so that the
+// concatenation of the two spills is byte-identical to an unsplit
+// run's trace and the final report is equal.
+func (s *System) RunToCheckpoint(at Duration) (*Checkpoint, error) {
+	if err := s.checkpointable(); err != nil {
+		return nil, err
+	}
+	if at < 0 || at > s.sc.Horizon {
+		return nil, fmt.Errorf("sim: checkpoint instant %v outside the horizon [0, %v]", at, s.sc.Horizon)
+	}
+	set, plan, pol, err := s.compileStream()
+	if err != nil {
+		return nil, err
+	}
+	var spill *trace.WriterSink
+	var sink trace.Sink
+	if s.spill != nil {
+		spill = trace.NewWriterSink(s.spill)
+		sink = spill
+	}
+	cp := &Checkpoint{Version: CheckpointVersion, At: at, Scenario: s.sc}
+	if s.sc.SkipAdmission {
+		acc := metrics.NewAccumulator()
+		eng, err := engine.New(s.engineConfig(set, plan, pol, trace.Tee(acc, sink)))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RunUntil(vtime.Time(at)); err != nil {
+			return nil, err
+		}
+		if cp.Engine, err = eng.Snapshot(); err != nil {
+			return nil, err
+		}
+		cp.Metrics = acc.State()
+	} else {
+		sys, err := core.NewSystem(s.coreConfig(set, plan, pol, sink))
+		if err != nil {
+			return nil, err
+		}
+		cs, err := sys.RunToCheckpoint(at.D())
+		if err != nil {
+			return nil, err
+		}
+		cp.Engine, cp.Metrics = cs.Engine, cs.Metrics
+	}
+	if spill != nil {
+		if err := spill.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: spilling trace: %w", err)
+		}
+	}
+	return cp, nil
+}
+
+// Resume builds a System that continues a checkpointed run. Its Run
+// completes the remaining horizon; SpillTrace captures the second
+// trace segment; the result's Report covers the whole run (segment
+// one travels inside the checkpoint's accumulator state).
+func Resume(cp *Checkpoint) (*System, error) {
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Engine == nil || cp.Metrics == nil {
+		return nil, fmt.Errorf("sim: checkpoint is missing engine or metrics state")
+	}
+	sys, err := FromScenario(cp.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.checkpointable(); err != nil {
+		return nil, err
+	}
+	sys.resume = cp
+	return sys, nil
+}
+
+// runResumed is Run for a System built by Resume.
+func (s *System) runResumed() (*RunResult, error) {
+	set, plan, pol, err := s.compileStream()
+	if err != nil {
+		return nil, err
+	}
+	var spill *trace.WriterSink
+	var sink trace.Sink
+	if s.spill != nil {
+		spill = trace.NewWriterSink(s.spill)
+		sink = spill
+	}
+	res := &RunResult{Scenario: s.sc}
+	if s.sc.SkipAdmission {
+		acc := metrics.NewAccumulator()
+		eng, err := engine.New(s.engineConfig(set, plan, pol, trace.Tee(acc, sink)))
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.RestoreState(s.resume.Metrics); err != nil {
+			return nil, err
+		}
+		if err := eng.Restore(s.resume.Engine); err != nil {
+			return nil, err
+		}
+		res.Log = eng.Run()
+		res.Report = acc.Report()
+		res.Switches = eng.Switches()
+	} else {
+		sys, err := core.NewSystem(s.coreConfig(set, plan, pol, sink))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sys.RunFrom(&core.CheckpointState{Engine: s.resume.Engine, Metrics: s.resume.Metrics})
+		if err != nil {
+			return nil, err
+		}
+		res.Log = r.Log
+		res.Report = r.Report
+		res.Admission = r.Admission
+		res.Allowance = r.Allowance
+		res.Detections = r.Detections
+		res.Switches = r.Switches
+	}
+	if spill != nil {
+		if err := spill.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: spilling trace: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -134,4 +134,13 @@ func init() {
 			}
 			return Result{Data: points, Text: RenderDifferential(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x12",
+		"X12 — process-sharded sweep: streamed worker accumulators reproduce serial reports exactly",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := ShardDifferentialSweep(ctx, ShardSeed, ShardCount, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: RenderShardDifferential(points)}, nil
+		}))
 }

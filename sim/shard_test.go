@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/verify/gen"
+)
+
+// TestMain lets this test binary serve as its own shard worker: the
+// sharded-sweep tests spawn os.Args[0] with ShardWorkerEnv set, and
+// the hook must run before the testing framework does.
+func TestMain(m *testing.M) {
+	RunShardWorkerIfEnv()
+	os.Exit(m.Run())
+}
+
+// TestShardedSweepMatchesSerial is the x12 property at test scale:
+// reports streamed back from worker processes equal in-process runs
+// on every task-summary field, switches included.
+func TestShardedSweepMatchesSerial(t *testing.T) {
+	if raceEnabled {
+		t.Skip("x12 sweep runs unraced via make ci (rtexp -exp x12)")
+	}
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	points, err := ShardDifferentialSweep(context.Background(), ShardSeed, n, RunOptions{})
+	if err != nil {
+		t.Fatalf("shard differential sweep: %v", err)
+	}
+	if len(points) != n {
+		t.Fatalf("sweep returned %d points, want %d", len(points), n)
+	}
+	var released int
+	for _, p := range points {
+		released += p.Released
+	}
+	if released == 0 {
+		t.Error("sweep released no jobs — scenarios degenerate?")
+	}
+}
+
+// TestShardedSweepAggregate: absorbing every shard state yields an
+// aggregate whose released total matches the sum of the per-shard
+// reports — the cross-scenario fold a distributed sweep reports.
+func TestShardedSweepAggregate(t *testing.T) {
+	scs := []Scenario{gen.Checkpointable(3), gen.Checkpointable(4), gen.Checkpointable(5)}
+	results, err := ShardedSweep(context.Background(), ShardOptions{Workers: 2}, scs)
+	if err != nil {
+		t.Fatalf("sharded sweep: %v", err)
+	}
+	var want int
+	for i := range results {
+		rep, err := results[i].Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range rep.Tasks {
+			want += s.Released
+		}
+	}
+	agg, err := AggregateShards(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for _, s := range agg.Tasks {
+		got += s.Released
+	}
+	if got != want || got == 0 {
+		t.Errorf("aggregate released %d, want %d (> 0)", got, want)
+	}
+}
+
+// TestShardWorkerRejectsRetained: a retained-collection scenario is a
+// job error (the accumulator is the wire format), reported with the
+// worker's message, not a crash.
+func TestShardWorkerRejectsRetained(t *testing.T) {
+	sc := gen.Checkpointable(6)
+	sc.Collect = nil
+	_, err := ShardedSweep(context.Background(), ShardOptions{Workers: 1}, []Scenario{sc})
+	if err == nil {
+		t.Fatal("retained scenario accepted by shard worker")
+	}
+	if !strings.Contains(err.Error(), "streaming") {
+		t.Errorf("error %v does not explain the streaming requirement", err)
+	}
+}

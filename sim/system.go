@@ -25,6 +25,9 @@ import (
 type System struct {
 	sc    Scenario
 	spill io.Writer
+	// resume, when set (by Resume), makes Run continue the checkpointed
+	// run instead of starting from time zero.
+	resume *Checkpoint
 }
 
 // SpillTrace streams the trace's text encoding to w during the run —
@@ -100,8 +103,12 @@ func ParseTreatment(name string) (detect.Treatment, error) {
 // Policies returns the names of all registered scheduling policies.
 func Policies() []string { return engine.PolicyNames() }
 
-// Run compiles the scenario and simulates it to the horizon.
+// Run compiles the scenario and simulates it to the horizon. On a
+// System built by Resume it continues the checkpointed run instead.
 func (s *System) Run() (*RunResult, error) {
+	if s.resume != nil {
+		return s.runResumed()
+	}
 	sc := s.sc
 	set, err := taskset.New(taskSlice(sc.Tasks)...)
 	if err != nil {
