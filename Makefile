@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail in bench-json.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 fuzz-smoke ci
+.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 fuzz-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ x11:
 x12:
 	$(GO) run ./cmd/rtexp -exp x12 > /dev/null
 
+# End-to-end smoke of the serving stack: boot rtserved, prove the
+# cache contract (miss/hit, byte-equality with `rtrun -scenario`),
+# hold a pinned p99 SLO on a cached burst, and saturate a tiny
+# instance to prove 429 shedding shows up in /metrics.
+serve-smoke:
+	scripts/serve_smoke.sh
+
 # Short native-fuzz smoke over the scenario space, the log codec, and
 # the checkpoint split/resume differential.
 fuzz-smoke:
@@ -90,4 +97,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCheckpoint -fuzztime 10s ./internal/verify/gen
 
-ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12
+ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 serve-smoke

@@ -1,0 +1,367 @@
+// Command rtload drives an rtserved instance with a scenario mix at a
+// target rate and reports achieved throughput and latency quantiles
+// against an SLO — the load-generator harness of the serving stack,
+// and the only HTTP client scripts/serve_smoke.sh needs.
+//
+// Usage:
+//
+//	rtload -url http://host:port -scenario a.json[,b.json...]
+//	       [-rate 50] [-duration 2s] [-concurrency 8] [-unique]
+//	       [-slo-p99 500ms] [-min-throttled 0]
+//	rtload -url http://host:port -scenario a.json -post [-out report.txt]
+//	rtload -url http://host:port -health
+//	rtload -url http://host:port -metrics
+//
+// Modes:
+//
+//   - Burst (default): POST the scenario mix round-robin, paced at
+//     -rate requests/sec for -duration, across -concurrency client
+//     workers, then print one summary line:
+//
+//     rtload: sent=100 ok=87 throttled=13 errors=0 wall=2.01s achieved_rps=49.8 p50=3.1ms p99=18.4ms
+//
+//     200s count as ok, 429s as throttled (expected under
+//     saturation — the server's admission contract), anything else
+//     as an error. The exit code enforces assertions: non-zero when
+//     errors > 0, when -slo-p99 is set and the p99 of successful
+//     requests exceeds it, or when -min-throttled is set and fewer
+//     429s were observed (the saturation check). -unique rewrites
+//     each request's scenario name so every POST is content-unique,
+//     defeating the server's result cache — the way to load the
+//     simulators rather than the cache.
+//
+//   - -post: one POST of the first scenario, report body
+//     (?format=report, byte-equal to `rtrun -scenario`) to -out or
+//     stdout, "status=... cache=hit|miss digest=..." to stderr.
+//
+//   - -health: wait (up to -health-timeout) for a 200 from /healthz.
+//
+//   - -metrics: print the /metrics JSON document to stdout.
+//
+// Latencies are client-observed POST round-trip times, accumulated in
+// the same Greenwald–Khanna sketch the simulator uses (ε=0.005), so
+// the p50/p99 the harness pins are rank-accurate within ±εn.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	gk "repro/internal/metrics"
+	"repro/internal/vtime"
+	"repro/sim/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url          = fs.String("url", "", "base URL of the rtserved instance (required)")
+		scenarios    = fs.String("scenario", "", "comma-separated scenario JSON files (the request mix)")
+		post         = fs.Bool("post", false, "single POST of the first scenario; body to -out or stdout")
+		out          = fs.String("out", "", "output file for -post (default stdout)")
+		health       = fs.Bool("health", false, "wait for /healthz to answer 200, then exit")
+		metricsMode  = fs.Bool("metrics", false, "print the /metrics document and exit")
+		rate         = fs.Float64("rate", 50, "target request rate per second")
+		duration     = fs.Duration("duration", 2*time.Second, "burst duration")
+		concurrency  = fs.Int("concurrency", 8, "client workers")
+		unique       = fs.Bool("unique", false, "make every request content-unique (defeats the result cache)")
+		sloP99       = fs.Duration("slo-p99", 0, "fail if the p99 latency of ok requests exceeds this (0 = off)")
+		minThrottled = fs.Int("min-throttled", 0, "fail unless at least this many 429s were observed")
+		healthTO     = fs.Duration("health-timeout", 10*time.Second, "how long to wait for the server to become healthy")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "rtload:", err)
+		return 1
+	}
+	if *url == "" {
+		fmt.Fprintln(stderr, "rtload: -url is required")
+		fs.Usage()
+		return 2
+	}
+	base := strings.TrimSuffix(*url, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if err := waitHealthy(client, base, *healthTO); err != nil {
+		return fail(err)
+	}
+	if *health {
+		fmt.Fprintln(stderr, "rtload: healthy")
+		return 0
+	}
+	if *metricsMode {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return fail(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fail(fmt.Errorf("GET /metrics: status %d", resp.StatusCode))
+		}
+		_, err = io.Copy(stdout, resp.Body)
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *scenarios == "" {
+		fmt.Fprintln(stderr, "rtload: -scenario is required (except with -health/-metrics)")
+		fs.Usage()
+		return 2
+	}
+	mix, err := loadMix(strings.Split(*scenarios, ","))
+	if err != nil {
+		return fail(err)
+	}
+
+	if *post {
+		return runPost(client, base, mix[0], *out, stdout, stderr)
+	}
+	return runBurst(client, base, mix, burstOptions{
+		rate:         *rate,
+		duration:     *duration,
+		concurrency:  *concurrency,
+		unique:       *unique,
+		sloP99:       *sloP99,
+		minThrottled: *minThrottled,
+	}, stdout, stderr)
+}
+
+// mixEntry is one preloaded scenario of the request mix.
+type mixEntry struct {
+	sc    *scenario.Scenario
+	bytes []byte // canonical encoding, reused verbatim unless -unique
+}
+
+func loadMix(paths []string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		sc, err := scenario.DecodeFile(p)
+		if err != nil {
+			return nil, err
+		}
+		b, err := scenario.Marshal(sc)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, mixEntry{sc: sc, bytes: b})
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("no scenarios in -scenario")
+	}
+	return mix, nil
+}
+
+func waitHealthy(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %v: %v", timeout, err)
+			}
+			return fmt.Errorf("server not healthy after %v", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func runPost(client *http.Client, base string, m mixEntry, outPath string, stdout, stderr io.Writer) int {
+	resp, err := client.Post(base+"/v1/simulate?format=report", "application/json", bytes.NewReader(m.bytes))
+	if err != nil {
+		fmt.Fprintln(stderr, "rtload:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(stderr, "rtload:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "status=%d cache=%s digest=%s\n",
+		resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get("X-Scenario-Digest"))
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rtload:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(body); err != nil {
+		fmt.Fprintln(stderr, "rtload:", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	return 0
+}
+
+type burstOptions struct {
+	rate         float64
+	duration     time.Duration
+	concurrency  int
+	unique       bool
+	sloP99       time.Duration
+	minThrottled int
+}
+
+func runBurst(client *http.Client, base string, mix []mixEntry, opt burstOptions, stdout, stderr io.Writer) int {
+	if opt.rate <= 0 || opt.duration <= 0 || opt.concurrency <= 0 {
+		fmt.Fprintln(stderr, "rtload: -rate, -duration and -concurrency must be positive")
+		return 2
+	}
+	total := int(opt.rate * opt.duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	const maxBurst = 1_000_000
+	if total > maxBurst {
+		fmt.Fprintf(stderr, "rtload: capping burst at %d requests\n", maxBurst)
+		total = maxBurst
+	}
+
+	// Open-loop pacing: the producer emits request indices on schedule
+	// regardless of how fast responses come back; the deep buffer means
+	// a slow server builds client-side backlog (and measured latency)
+	// instead of silently lowering the offered rate.
+	ticks := make(chan int, total)
+	go func() {
+		defer close(ticks)
+		interval := time.Duration(float64(time.Second) / opt.rate)
+		next := time.Now()
+		for i := 0; i < total; i++ {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			ticks <- i
+			next = next.Add(interval)
+		}
+	}()
+
+	var (
+		mu            sync.Mutex
+		lat           = gk.NewSketch(0.005)
+		ok, throttled int
+		failed        int
+		firstErr      error
+		wg            sync.WaitGroup
+		start         = time.Now()
+		bodyFor       = func(i int) []byte { return mix[i%len(mix)].bytes }
+		uniqueBody    = func(i int) []byte {
+			m := mix[i%len(mix)]
+			sc := *m.sc
+			sc.Name = fmt.Sprintf("%s [load %d]", m.sc.Name, i)
+			b, err := scenario.Marshal(&sc)
+			if err != nil {
+				return m.bytes
+			}
+			return b
+		}
+	)
+	wg.Add(opt.concurrency)
+	for w := 0; w < opt.concurrency; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ticks {
+				body := bodyFor(i)
+				if opt.unique {
+					body = uniqueBody(i)
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+				rtt := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					failed++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						ok++
+						lat.Add(vtime.Duration(rtt.Nanoseconds()))
+					case http.StatusTooManyRequests:
+						throttled++
+					default:
+						failed++
+						if firstErr == nil {
+							firstErr = fmt.Errorf("status %d", resp.StatusCode)
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	quantile := func(q float64) time.Duration {
+		v, found := lat.Query(q)
+		if !found {
+			return 0
+		}
+		return time.Duration(int64(v))
+	}
+	p50, p99 := quantile(0.50), quantile(0.99)
+	fmt.Fprintf(stdout, "rtload: sent=%d ok=%d throttled=%d errors=%d wall=%.2fs achieved_rps=%.1f p50=%s p99=%s\n",
+		total, ok, throttled, failed, wall.Seconds(), float64(ok+throttled+failed)/wall.Seconds(), p50, p99)
+
+	code := 0
+	if failed > 0 {
+		fmt.Fprintf(stderr, "rtload: %d requests failed (first: %v)\n", failed, firstErr)
+		code = 1
+	}
+	if opt.sloP99 > 0 {
+		if ok == 0 {
+			fmt.Fprintln(stderr, "rtload: SLO check impossible: no successful requests")
+			code = 1
+		} else if p99 > opt.sloP99 {
+			fmt.Fprintf(stderr, "rtload: SLO violated: p99 %s > %s\n", p99, opt.sloP99)
+			code = 1
+		}
+	}
+	if opt.minThrottled > 0 && throttled < opt.minThrottled {
+		fmt.Fprintf(stderr, "rtload: expected at least %d throttled responses, saw %d (server never saturated?)\n",
+			opt.minThrottled, throttled)
+		code = 1
+	}
+	return code
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+var scenarioPath = filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+
+func TestFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no-url":      {"-scenario", scenarioPath},
+		"no-scenario": {"-url", "http://127.0.0.1:1"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append(args, "-health-timeout", "1ms")
+			code := run(args, &out, &errb)
+			if name == "no-url" {
+				if code != 2 {
+					t.Errorf("run(%v) = %d, want 2", args, code)
+				}
+				return
+			}
+			// no-scenario dies either on health (nothing listens on
+			// port 1) or on the missing mix — never 0.
+			if code == 0 {
+				t.Errorf("run(%v) = 0, want failure", args)
+			}
+		})
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+}
+
+// TestPostAgainstRealServer drives the -post mode against the real
+// serve.Server: miss then hit, byte-equal bodies, healthz handshake
+// included.
+func TestPostAgainstRealServer(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "r1.txt")
+	out2 := filepath.Join(dir, "r2.txt")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-url", ts.URL, "-scenario", scenarioPath, "-post", "-out", out1}, &stdout, &stderr); code != 0 {
+		t.Fatalf("first -post exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "status=200 cache=miss") {
+		t.Errorf("first post stderr %q, want status=200 cache=miss", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-url", ts.URL, "-scenario", scenarioPath, "-post", "-out", out2}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -post exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "status=200 cache=hit") {
+		t.Errorf("second post stderr %q, want status=200 cache=hit", stderr.String())
+	}
+
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cache hit body differs from miss body")
+	}
+	if len(b1) == 0 || !strings.Contains(string(b1), "success ratio") {
+		t.Errorf("report body does not look like a report: %q", b1)
+	}
+
+	// -health and -metrics against the same server.
+	var hb bytes.Buffer
+	if code := run([]string{"-url", ts.URL, "-health"}, &hb, &hb); code != 0 {
+		t.Errorf("-health exit %d", code)
+	}
+	var mb bytes.Buffer
+	if code := run([]string{"-url", ts.URL, "-metrics"}, &mb, &hb); code != 0 {
+		t.Errorf("-metrics exit %d", code)
+	}
+	if !strings.Contains(mb.String(), `"cache_hits"`) {
+		t.Errorf("-metrics output missing counters: %s", mb.String())
+	}
+}
+
+// TestBurstReportsAndSLO pins the burst mode's accounting and exit
+// codes against deterministic fake servers.
+func TestBurstReportsAndSLO(t *testing.T) {
+	okSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer okSrv.Close()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-url", okSrv.URL, "-scenario", scenarioPath,
+		"-rate", "200", "-duration", "100ms", "-concurrency", "4", "-slo-p99", "10s"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("burst against healthy server: exit %d: %s", code, stderr.String())
+	}
+	line := stdout.String()
+	if !strings.Contains(line, "sent=20") || !strings.Contains(line, "ok=20") || !strings.Contains(line, "throttled=0") || !strings.Contains(line, "errors=0") {
+		t.Errorf("burst summary %q", line)
+	}
+
+	// Impossible SLO: the same burst must fail.
+	stdout.Reset()
+	stderr.Reset()
+	args[len(args)-1] = "1ns"
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Errorf("impossible SLO: exit %d, want 1 (%s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "SLO violated") {
+		t.Errorf("stderr %q, want SLO violation", stderr.String())
+	}
+}
+
+// TestBurstThrottledAccounting pins the saturation contract: 429s are
+// counted as throttled (not errors), satisfy -min-throttled, and an
+// unmet -min-throttled fails.
+func TestBurstThrottledAccounting(t *testing.T) {
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer shedding.Close()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-url", shedding.URL, "-scenario", scenarioPath,
+		"-rate", "100", "-duration", "100ms", "-min-throttled", "5"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("saturated burst: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "throttled=10") || !strings.Contains(stdout.String(), "errors=0") {
+		t.Errorf("summary %q, want throttled=10 errors=0", stdout.String())
+	}
+
+	okSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer okSrv.Close()
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-url", okSrv.URL, "-scenario", scenarioPath,
+		"-rate", "100", "-duration", "50ms", "-min-throttled", "1"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Errorf("-min-throttled with no 429s: exit %d, want 1", code)
+	}
+}
+
+// TestBurstUnique pins -unique: every request carries a distinct
+// scenario name, so a digesting server sees distinct documents.
+func TestBurstUnique(t *testing.T) {
+	seen := make(chan string, 64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		seen <- buf.String()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-url", srv.URL, "-scenario", scenarioPath,
+		"-rate", "100", "-duration", "50ms", "-unique", "-concurrency", "2"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("unique burst: exit %d: %s", code, stderr.String())
+	}
+	close(seen)
+	bodies := map[string]bool{}
+	for b := range seen {
+		if bodies[b] {
+			t.Fatal("-unique produced duplicate request bodies")
+		}
+		bodies[b] = true
+	}
+	if len(bodies) == 0 {
+		t.Fatal("no requests observed")
+	}
+}

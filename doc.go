@@ -28,10 +28,12 @@
 //   - internal/baselines — best-effort/RED/D-over comparators
 //   - internal/experiments — one constructor per table and figure
 //   - internal/runner — the parallel experiment-execution substrate
+//   - internal/serve — the simulation-as-a-service HTTP layer
+//     (content-addressed result cache, admission control, SSE)
 //   - internal/verify — the online invariant oracle (+ gen, the
 //     scenario fuzzer and shrinker)
-//   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp, cmd/rtworker —
-//     tools
+//   - cmd/rtrun, cmd/rtchart, cmd/rtfeas, cmd/rtexp, cmd/rtworker,
+//     cmd/rtserved, cmd/rtload — tools
 //   - examples/ — runnable walkthroughs (examples/scenario shows
 //     the sim facade end to end)
 //
@@ -163,6 +165,30 @@
 // cmd/rtworker, so non-Go orchestrators can dispatch too. The x12
 // registry entry (rtexp -exp x12, run by make ci) proves
 // process-sharded ≡ serial across a 24-scenario sweep.
+//
+// # Serving
+//
+// cmd/rtserved (over internal/serve) exposes the simulator as a
+// long-running HTTP/JSON service: POST a canonical scenario document
+// to /v1/simulate and receive exactly the report a local rtrun
+// -scenario run prints — byte-equal, pinned by test — in a JSON
+// envelope or raw via ?format=report. Results are deduplicated
+// through a content-addressed cache keyed by scenario.Digest (SHA-256
+// of the canonical scenario bytes plus scenario.SchemaVersion, so an
+// engine behaviour change invalidates every stale key): repeat
+// requests are cache hits, and N concurrent identical POSTs are
+// single-flighted into one simulation. Work is admitted onto a
+// bounded internal/runner pool; a full accept queue sheds load with
+// HTTP 429 + Retry-After rather than queueing without bound, and GET
+// /healthz + GET /metrics (counters, queue depth, in-flight, and a
+// GK-sketch latency histogram) make the shedding observable.
+// ?stream=sse upgrades a request to server-sent events carrying
+// queued/progress/result. cmd/rtload is the matching load generator:
+// paced open-loop bursts over a scenario mix with exit-code
+// assertions on the p99 SLO (-slo-p99), on observed shedding
+// (-min-throttled), and with -unique to defeat the cache and load
+// the simulators themselves. scripts/serve_smoke.sh (make
+// serve-smoke, run by make ci) pins the whole contract end to end.
 //
 // The benchmark harness in bench_test.go regenerates every published
 // artefact (go test -bench=. -benchmem); make bench-json distills the

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.TrySubmit when the bounded accept
+// queue has no free slot — the signal a caller (cmd/rtserved) turns
+// into load shedding (HTTP 429) instead of blocking or growing an
+// unbounded goroutine pile.
+var ErrQueueFull = errors.New("runner: queue full")
+
+// ErrPoolClosed is returned by Pool.TrySubmit after Close.
+var ErrPoolClosed = errors.New("runner: pool closed")
+
+// Pool is the long-running sibling of Map: a fixed set of workers
+// draining a bounded queue of independently submitted jobs, built for
+// servers that accept work continuously rather than mapping one batch.
+// The same Options vocabulary applies (Parallelism, QueueDepth;
+// Progress is ignored — a server observes per-job completion itself).
+// Admission is explicitly non-blocking: TrySubmit either owns a queue
+// slot or fails with ErrQueueFull, and QueueDepth/InFlight expose the
+// backlog so callers can shed load before it builds.
+type Pool struct {
+	queue    chan func(context.Context)
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts the workers. The pool's context is passed to every
+// job; Close cancels it.
+func NewPool(opt Options) *Pool {
+	workers := opt.workers()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		queue:  make(chan func(context.Context), opt.queue(workers)),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.inFlight.Add(1)
+				fn(ctx)
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It returns ErrQueueFull
+// when every queue slot is taken (the caller should shed the work and
+// retry later) and ErrPoolClosed after Close. A nil error means a
+// worker will run fn(ctx) exactly once.
+func (p *Pool) TrySubmit(fn func(ctx context.Context)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth is the number of accepted jobs not yet picked up by a
+// worker. Instantaneous — a metrics/introspection value, not a
+// synchronization primitive.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// QueueCap is the accept-queue bound.
+func (p *Pool) QueueCap() int { return cap(p.queue) }
+
+// InFlight is the number of jobs currently executing on workers.
+// Instantaneous, like QueueDepth.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Close cancels the pool context, rejects further submissions, and
+// waits for the workers to drain the queue. Queued jobs still run
+// (with the cancelled context, so context-aware jobs exit fast).
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cancel()
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

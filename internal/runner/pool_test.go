@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolQueueFull pins the load-shedding path: with one worker
+// parked on a job and the one queue slot taken, TrySubmit fails with
+// ErrQueueFull instead of blocking, and succeeds again once the
+// backlog drains.
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(Options{Parallelism: 1, QueueDepth: 1})
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatalf("first TrySubmit: %v", err)
+	}
+	<-started // the worker owns job 1; the queue is empty again
+
+	ran := make(chan struct{})
+	if err := p.TrySubmit(func(context.Context) { close(ran) }); err != nil {
+		t.Fatalf("TrySubmit into empty queue: %v", err)
+	}
+	if p.QueueDepth() != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", p.QueueDepth())
+	}
+	if p.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", p.InFlight())
+	}
+
+	// Queue full: shedding, not blocking.
+	err := p.TrySubmit(func(context.Context) {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit with full queue = %v, want ErrQueueFull", err)
+	}
+
+	close(block)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued job never ran after the worker unblocked")
+	}
+
+	// A freed slot admits again.
+	done := make(chan struct{})
+	if err := p.TrySubmit(func(context.Context) { close(done) }); err != nil {
+		t.Fatalf("TrySubmit after drain: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-drain job never ran")
+	}
+}
+
+// TestPoolCloseDrainsAndRejects pins Close semantics: accepted jobs
+// run to completion (with a cancelled context), later submissions get
+// ErrPoolClosed, and Close is idempotent.
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(Options{Parallelism: 2, QueueDepth: 8})
+	var ran atomic.Int64
+	var cancelled atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.TrySubmit(func(ctx context.Context) {
+			ran.Add(1)
+			if ctx.Err() != nil {
+				cancelled.Add(1)
+			}
+		}); err != nil {
+			t.Fatalf("TrySubmit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 8 {
+		t.Errorf("ran %d accepted jobs, want all 8", got)
+	}
+	if err := p.TrySubmit(func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("TrySubmit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+	_ = cancelled.Load()
+}
+
+// TestPoolConcurrentSubmitters hammers TrySubmit from many goroutines
+// against a tiny pool: every accepted job runs exactly once, rejected
+// submissions are all ErrQueueFull, and nothing deadlocks. (Run under
+// -race this doubles as the admission-path data-race check.)
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(Options{Parallelism: 2, QueueDepth: 2})
+	defer p.Close()
+
+	const attempts = 200
+	var accepted, ran, rejected atomic.Int64
+	done := make(chan struct{}, attempts)
+	for i := 0; i < attempts; i++ {
+		go func() {
+			err := p.TrySubmit(func(context.Context) { ran.Add(1) })
+			switch {
+			case err == nil:
+				accepted.Add(1)
+			case errors.Is(err, ErrQueueFull):
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected TrySubmit error: %v", err)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < attempts; i++ {
+		<-done
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() != accepted.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("ran %d of %d accepted jobs", ran.Load(), accepted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if accepted.Load()+rejected.Load() != attempts {
+		t.Fatalf("accepted %d + rejected %d != %d attempts", accepted.Load(), rejected.Load(), attempts)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Progress is one observation of an in-flight simulation's virtual
+// clock, published to SSE subscribers of the run's cache entry.
+type Progress struct {
+	// AtMS is the virtual instant reached, in milliseconds.
+	AtMS int64 `json:"at_ms"`
+	// HorizonMS is the scenario horizon, in milliseconds.
+	HorizonMS int64 `json:"horizon_ms"`
+	// Percent is 100*AtMS/HorizonMS, pre-computed for dashboards.
+	Percent float64 `json:"percent"`
+}
+
+// result is the terminal state of one completed simulation — exactly
+// the deterministic fields every response for the same digest is
+// rendered from, so a cache hit returns bytes equal to the original
+// response. No wall-clock or per-request data belongs here.
+type result struct {
+	report       []byte // rendered per-task report, byte-equal to rtrun's summary
+	detections   int64
+	switches     int64
+	successRatio float64
+}
+
+// entry is one content-addressed cache slot. It doubles as the
+// singleflight rendezvous: the request that creates it owns the
+// simulation, every other request for the same digest waits on done.
+type entry struct {
+	digest string
+	done   chan struct{} // closed once res/err are final
+	res    *result
+	err    error
+
+	mu      sync.Mutex
+	subs    []chan Progress
+	last    Progress
+	hasLast bool
+}
+
+func newEntry(digest string) *entry {
+	return &entry{digest: digest, done: make(chan struct{})}
+}
+
+// complete publishes the terminal state and wakes every waiter. Must
+// be called exactly once.
+func (e *entry) complete(res *result, err error) {
+	e.res, e.err = res, err
+	close(e.done)
+}
+
+// subscribe registers a progress listener, replaying the most recent
+// observation (if any) so late subscribers are not blind until the
+// next boundary. The returned cancel is idempotent and must be called
+// to release the slot.
+func (e *entry) subscribe() (<-chan Progress, func()) {
+	ch := make(chan Progress, 16)
+	e.mu.Lock()
+	if e.hasLast {
+		ch <- e.last // buffered, cannot block
+	}
+	e.subs = append(e.subs, ch)
+	e.mu.Unlock()
+	cancel := func() {
+		e.mu.Lock()
+		for i, c := range e.subs {
+			if c == ch {
+				e.subs = append(e.subs[:i], e.subs[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish fans a progress observation out to subscribers. Sends are
+// non-blocking: a slow SSE client drops observations instead of
+// stalling the engine goroutine.
+func (e *entry) publish(p Progress) {
+	e.mu.Lock()
+	e.last, e.hasLast = p, true
+	for _, ch := range e.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	e.mu.Unlock()
+}
+
+// cache is the content-addressed result store. Completed entries form
+// an LRU bounded at max (so the server's memory is bounded no matter
+// how many distinct scenarios arrive); in-flight entries live only in
+// the map and cannot be evicted, so singleflight rendezvous is never
+// lost mid-run.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*entry
+	lru     *list.List // completed digests, front = most recent
+	pos     map[string]*list.Element
+}
+
+func newCache(max int) *cache {
+	return &cache{
+		max:     max,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		pos:     make(map[string]*list.Element),
+	}
+}
+
+// lookup returns the entry for digest, creating an in-flight one when
+// absent. created reports whether the caller owns the simulation (the
+// singleflight winner); everyone else waits on the entry.
+func (c *cache) lookup(digest string) (e *entry, created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[digest]; ok {
+		if el, ok := c.pos[digest]; ok {
+			c.lru.MoveToFront(el)
+		}
+		return e, false
+	}
+	e = newEntry(digest)
+	c.entries[digest] = e
+	return e, true
+}
+
+// completed finalizes an entry. Successes join the LRU (evicting the
+// coldest results beyond max); failures are forgotten so a transient
+// error — notably admission-queue overload — is retried by the next
+// request instead of being served forever.
+func (c *cache) completed(e *entry, res *result, err error) {
+	e.complete(res, err)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		delete(c.entries, e.digest)
+		return
+	}
+	c.pos[e.digest] = c.lru.PushFront(e.digest)
+	for c.lru.Len() > c.max {
+		el := c.lru.Back()
+		d := el.Value.(string)
+		c.lru.Remove(el)
+		delete(c.pos, d)
+		delete(c.entries, d)
+	}
+}
+
+// len is the number of resident entries (completed + in-flight).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCacheLRUEviction pins the memory bound: completed results
+// beyond max evict coldest-first, a re-touched entry survives, and an
+// in-flight entry can never be evicted (its waiters would hang).
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	complete := func(d string) *entry {
+		e, created := c.lookup(d)
+		if !created {
+			t.Fatalf("%s already present", d)
+		}
+		c.completed(e, &result{report: []byte(d)}, nil)
+		return e
+	}
+	complete("a")
+	complete("b")
+	if _, created := c.lookup("a"); created {
+		t.Fatal("a evicted below capacity")
+	}
+	// a is now most-recent; inserting c evicts b.
+	complete("c")
+	if _, created := c.lookup("b"); !created {
+		t.Error("b survived eviction (LRU order wrong)")
+	}
+	// That lookup re-created b in-flight; finish it to keep state sane.
+	e, _ := c.lookup("b")
+	c.completed(e, &result{}, nil)
+
+	// In-flight entries are pinned: filling the LRU past max around
+	// one must not evict it.
+	inflight, created := c.lookup("pinned")
+	if !created {
+		t.Fatal("pinned already present")
+	}
+	complete("x")
+	complete("y")
+	complete("z")
+	if got, again := c.lookup("pinned"); again {
+		t.Error("in-flight entry was evicted")
+	} else if got != inflight {
+		t.Error("lookup returned a different in-flight entry")
+	}
+	c.completed(inflight, &result{}, nil)
+}
+
+// TestCacheErrorNotCached pins that failures are forgotten: the next
+// lookup owns a fresh attempt, and waiters of the failed entry saw
+// the error.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCache(4)
+	e, created := c.lookup("d")
+	if !created {
+		t.Fatal("d already present")
+	}
+	boom := errors.New("boom")
+	c.completed(e, nil, boom)
+	<-e.done
+	if !errors.Is(e.err, boom) {
+		t.Errorf("waiter error = %v, want boom", e.err)
+	}
+	if _, created := c.lookup("d"); !created {
+		t.Error("failed result was cached")
+	}
+}
+
+// TestEntryProgressPubSub pins the SSE plumbing: subscribers get
+// observations, late subscribers get the latest replayed, cancel
+// detaches, and a full subscriber drops rather than blocks.
+func TestEntryProgressPubSub(t *testing.T) {
+	e := newEntry("d")
+	ch, cancel := e.subscribe()
+	e.publish(Progress{AtMS: 10, HorizonMS: 100, Percent: 10})
+	select {
+	case p := <-ch:
+		if p.AtMS != 10 {
+			t.Errorf("got %+v", p)
+		}
+	default:
+		t.Fatal("subscriber missed the observation")
+	}
+
+	late, lateCancel := e.subscribe()
+	defer lateCancel()
+	select {
+	case p := <-late:
+		if p.AtMS != 10 {
+			t.Errorf("late replay %+v", p)
+		}
+	default:
+		t.Fatal("late subscriber did not get the latest observation replayed")
+	}
+
+	cancel()
+	e.publish(Progress{AtMS: 20, HorizonMS: 100, Percent: 20})
+	select {
+	case p := <-ch:
+		t.Errorf("cancelled subscriber still got %+v", p)
+	default:
+	}
+
+	// Saturate the late subscriber's buffer: publish must not block.
+	for i := 0; i < 100; i++ {
+		e.publish(Progress{AtMS: int64(30 + i), HorizonMS: 100})
+	}
+}

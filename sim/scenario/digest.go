@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// SchemaVersion stamps the scenario schema and the engine's
+// behavioural contract that a digest covers. Two scenarios with equal
+// digests are guaranteed to produce byte-identical reports, so any
+// change that alters simulation results for an unchanged scenario
+// file — a new codec field with a non-neutral default, a policy
+// tie-break change, a detector-offset fix — MUST bump this constant,
+// or a content-addressed result cache (cmd/rtserved) would keep
+// serving stale results for the old behaviour. Purely additive codec
+// fields whose zero value preserves old results do not need a bump:
+// old files still encode to the same canonical bytes.
+const SchemaVersion = 1
+
+// digestDomain separates scenario digests from any other SHA-256 use
+// and binds them to the schema version.
+const digestDomain = "repro/sim/scenario@v%d\n"
+
+// Digest returns the content address of the scenario:
+// "sha256:<hex>" over a domain-separation line carrying SchemaVersion
+// followed by the canonical JSON encoding. Because Encode is
+// canonical (fixed field order, "29ms" duration strings, two-space
+// indent, trailing newline), semantically identical scenarios loaded
+// from differently-formatted JSON digest identically, and the golden
+// test over testdata/scenarios pins every committed digest so cache
+// keys cannot drift silently.
+func (sc *Scenario) Digest() (string, error) {
+	b, err := Marshal(sc)
+	if err != nil {
+		return "", fmt.Errorf("scenario: digest: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, digestDomain, SchemaVersion)
+	h.Write(b)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

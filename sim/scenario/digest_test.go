@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenDigests pins the content address of every committed example
+// scenario. These are the cache keys cmd/rtserved uses: if one of
+// them changes, either the scenario file changed (update the entry)
+// or the canonical encoding / SchemaVersion changed — in which case
+// every served cache entry is invalidated, which is exactly the
+// behaviour the digest exists to force. Never "fix" this test by
+// recomputing blindly: first decide whether simulation results for
+// unchanged files changed, and bump SchemaVersion if so.
+var goldenDigests = map[string]string{
+	"aperiodic-server.json": "sha256:7fd1aea13f173522d26d30c366613276296a44a703a81d159cbcdfb2623e04aa",
+	"edf-overload.json":     "sha256:fba3ab372445717da758b961c20f9991660184345829f27770d2788a673d801b",
+	"figure5.json":          "sha256:79310c5024409ceb7a1dcf4e063ac07fcde5fc12d3ec3989903ee8b8a259f79c",
+	"jitter-stop.json":      "sha256:7081d1a24055ddf582a3f4253be11be374efece682d17f1447b3d79c06d0a71e",
+	"scaling-100.json":      "sha256:dd05db4287cb3549138786cca774969286e5d02531a411548600d24e7039f43d",
+	"stream-soak.json":      "sha256:fe80359163e427adef65e212ecbb044c76706cf321720d9c726e84337db40a8b",
+}
+
+// TestDigestGoldens pins Digest for every testdata scenario, and
+// requires every scenario file to have a pinned digest (a new example
+// must be added here, so cache keys can never drift unnoticed).
+func TestDigestGoldens(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "scenarios")
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(goldenDigests) {
+		t.Errorf("testdata/scenarios has %d files but %d golden digests are pinned; add the missing entries", len(files), len(goldenDigests))
+	}
+	for _, path := range files {
+		base := filepath.Base(path)
+		t.Run(base, func(t *testing.T) {
+			want, ok := goldenDigests[base]
+			if !ok {
+				t.Fatalf("no golden digest pinned for %s", base)
+			}
+			sc, err := DecodeFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("digest drifted:\n got %s\nwant %s\n(see the goldenDigests comment before updating)", got, want)
+			}
+		})
+	}
+}
+
+// TestDigestFormatIndependent pins the canonicalization property the
+// cache relies on: re-formatted JSON of the same scenario (different
+// whitespace, numeric millisecond durations instead of strings)
+// digests identically, and any semantic change digests differently.
+func TestDigestFormatIndependent(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	sc, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same document, hostile formatting: strip all indentation.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.ReplaceAll(string(raw), "\n  ", "\n")
+	sc2, err := Decode(strings.NewReader(mangled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc2.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("re-formatted scenario digests differently: %s vs %s", got, want)
+	}
+
+	// One semantic bit flipped: different address.
+	sc3 := *sc
+	sc3.Seed++
+	changed, err := sc3.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == want {
+		t.Error("semantically different scenario produced the same digest")
+	}
+}

@@ -25,6 +25,9 @@ import (
 type System struct {
 	sc    Scenario
 	spill io.Writer
+	// progress, when set (by ObserveProgress), is teed into the run's
+	// sink chain to report the advancing virtual clock.
+	progress *progressSink
 	// resume, when set (by Resume), makes Run continue the checkpointed
 	// run instead of starting from time zero.
 	resume *Checkpoint
@@ -41,6 +44,38 @@ func (s *System) SpillTrace(w io.Writer) { s.spill = w }
 // system (the post-load equivalent of WithVerify or the scenario's
 // "verify": true — how cmd/rtrun -check arms it on a loaded file).
 func (s *System) SetVerify(on bool) { s.sc.Verify = on }
+
+// ObserveProgress registers fn to observe the run's advancing virtual
+// clock: it is called from the engine loop with the instant of the
+// first event recorded at or after each successive `every` boundary,
+// so a long-horizon run reports roughly horizon/every times. The
+// callback runs synchronously on the engine goroutine — keep it fast
+// and non-blocking (rtserved's SSE progress stream hands the value to
+// a channel). every must be positive; fn nil disarms. Resumed
+// (checkpoint) runs ignore it.
+func (s *System) ObserveProgress(every Duration, fn func(at Duration)) {
+	if fn == nil || every.D() <= 0 {
+		s.progress = nil
+		return
+	}
+	s.progress = &progressSink{every: every.D(), fn: fn}
+}
+
+// progressSink throttles trace events into ObserveProgress callbacks:
+// one comparison per event, a callback only when the virtual clock
+// crosses the next boundary.
+type progressSink struct {
+	every vtime.Duration
+	next  vtime.Time
+	fn    func(Duration)
+}
+
+func (p *progressSink) Append(e trace.Event) {
+	if !e.At.Before(p.next) {
+		p.fn(Duration(e.At.Sub(0)))
+		p.next = e.At.Add(p.every)
+	}
+}
 
 // FromScenario validates a declarative scenario into a System.
 func FromScenario(sc Scenario) (*System, error) {
@@ -153,6 +188,9 @@ func (s *System) Run() (*RunResult, error) {
 	if s.spill != nil {
 		spill = trace.NewWriterSink(s.spill)
 		sink = spill
+	}
+	if s.progress != nil {
+		sink = trace.Tee(s.progress, sink)
 	}
 	res := &RunResult{Scenario: sc}
 	if sc.SkipAdmission {
