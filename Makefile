@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail in bench-json.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 fuzz-smoke serve-smoke ci
+.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 x13 fuzz-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ x11:
 x12:
 	$(GO) run ./cmd/rtexp -exp x12 > /dev/null
 
+# The X13 multiprocessor differential: 24 fixed-seed task sets run
+# under both dispatch modes with the oracle armed; any invariant
+# violation fails, and on every feasible-partition point the global
+# success ratio must be at least the partitioned one.
+x13:
+	$(GO) run ./cmd/rtexp -exp x13 > /dev/null
+
 # End-to-end smoke of the serving stack: boot rtserved, prove the
 # cache contract (miss/hit, byte-equality with `rtrun -scenario`),
 # hold a pinned p99 SLO on a cached burst, and saturate a tiny
@@ -97,4 +104,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCheckpoint -fuzztime 10s ./internal/verify/gen
 
-ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 serve-smoke
+ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 x13 serve-smoke

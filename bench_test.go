@@ -425,10 +425,56 @@ func engineThroughput(b *testing.B, mode engine.Collect) {
 	b.ReportMetric(float64(events)*float64(b.N)/loop.Seconds(), "events_per_sec")
 }
 
+// engineThroughputCores drives 30 simulated seconds of a seeded
+// 10·cores-task set (utilization 0.55 per core, 10–100ms periods) on
+// the bare engine with M cores under global dispatch, in streaming
+// collection, and reports events_per_sec over the event loop alone.
+// One fixed seed per core count keeps every size comparable across
+// commits.
+func engineThroughputCores(b *testing.B, cores int) {
+	g := taskset.NewGenerator(uint64(11 + cores))
+	g.PeriodMin = 10 * vtime.Millisecond
+	g.PeriodMax = 100 * vtime.Millisecond
+	set, err := g.Generate(10*cores, 0.55*float64(cores))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	var loop time.Duration
+	for i := 0; i < b.N; i++ {
+		sink := &countingSink{}
+		e, err := engine.New(engine.Config{
+			Tasks:   set,
+			End:     vtime.Time(30 * vtime.Second),
+			CPUs:    cores,
+			Collect: engine.Stream,
+			Sink:    sink,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		e.Run()
+		loop += time.Since(t0)
+		events = sink.n
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(events), "trace_events")
+	b.ReportMetric(float64(events)*float64(b.N)/loop.Seconds(), "events_per_sec")
+}
+
 // BenchmarkEngineThroughput measures simulated events per wall second
 // — the substrate cost the typed, allocation-free event loop bounds —
-// in streaming collection (the long-horizon configuration).
-func BenchmarkEngineThroughput(b *testing.B) { engineThroughput(b, engine.Stream) }
+// across the core-count axis: cores=1 is the uniprocessor loop, the
+// larger counts price the shared ready queue feeding M cores under
+// global dispatch. Streaming collection (the long-horizon
+// configuration); the full pair of gate benchmarks is this family
+// plus the Retain workload below.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) { engineThroughputCores(b, cores) })
+	}
+}
 
 // BenchmarkEngineThroughputRetain is the same workload with the full
 // in-memory log and job history retained.

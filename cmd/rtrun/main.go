@@ -25,6 +25,15 @@
 // retained run. In a scenario file the equivalent is the
 // {"collect": {"mode": "stream"}} block.
 //
+// -cpus runs the task set on M identical processors (treatment none
+// only): dispatch defaults to global (one shared ready queue, jobs
+// migrate freely) and -placement partitioned instead pins every task
+// to one core by utilization-decreasing bin packing (-partitioner
+// first-fit or best-fit). In a scenario file the equivalents are the
+// "cpus", "placement" and "partitioner" fields:
+//
+//	rtrun -tasks system.tasks -cpus 4 -placement partitioned -check
+//
 // -check arms the online invariant oracle: the run's events are
 // validated against the scheduling axioms (see internal/verify) as
 // they are recorded, in either collection mode, and the command exits
@@ -75,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stream     = fs.Bool("stream", false, "streaming collection: bounded memory, no retained log (long horizons)")
 		traceOut   = fs.String("trace-out", "", "stream the trace to this file during the run ('-' for stdout; needs streaming collection)")
 		check      = fs.Bool("check", false, "verify the run against the scheduling invariants (online oracle); exit non-zero on any violation")
+		cpus       = fs.Int("cpus", 0, "number of identical processors (0 or 1 = the paper's uniprocessor; >1 needs treatment none)")
+		placement  = fs.String("placement", "", "multiprocessor dispatch: global|partitioned (needs -cpus > 1)")
+		partition  = fs.String("partitioner", "", "partitioned bin-packing heuristic: first-fit|best-fit (needs -placement partitioned)")
 		ckptPath   = fs.String("checkpoint", "", "stop at -checkpoint-at and write a resumable checkpoint JSON to this file")
 		ckptAt     = fs.Int64("checkpoint-at", -1, "checkpoint instant in ms from time zero (requires -checkpoint)")
 		resumePath = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint (replaces -tasks/-scenario)")
@@ -101,7 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "tasks", "scenario", "treatment", "horizon", "fault", "resolution",
-				"stream", "check", "checkpoint", "checkpoint-at", "o":
+				"stream", "check", "checkpoint", "checkpoint-at", "o",
+				"cpus", "placement", "partitioner":
 				conflict = f.Name
 			}
 		})
@@ -122,7 +135,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "treatment", "horizon", "fault", "resolution", "stream":
+			case "treatment", "horizon", "fault", "resolution", "stream",
+				"cpus", "placement", "partitioner":
 				conflict = f.Name
 			}
 		})
@@ -157,6 +171,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *stream {
 			opts = append(opts, sim.WithCollection(sim.CollectStream))
+		}
+		if *cpus != 0 {
+			opts = append(opts, sim.WithCPUs(*cpus))
+		}
+		if *placement != "" {
+			opts = append(opts, sim.WithPlacement(*placement))
+		}
+		if *partition != "" {
+			opts = append(opts, sim.WithPartitioner(*partition))
 		}
 		sys, err = sim.New(opts...)
 	}

@@ -116,12 +116,40 @@
 // equivalence with the pre-rework engine is pinned byte-for-byte by
 // the trace goldens under testdata/goldens.
 //
+// # Multiprocessor scheduling
+//
+// The paper's platform is a uniprocessor and every uniprocessor run
+// is byte-identical to what it always was, but the engine itself is
+// M-core (sim.WithCPUs, the scenario "cpus" field, rtrun -cpus).
+// Global dispatch — the default — feeds all M cores from one shared
+// policy-ordered ready queue, running the M policy-best ready jobs
+// at every scheduling instant; a preempted job may resume on another
+// core, recorded as a trace "migrate" event with the core id carried
+// on begin/resume/preempt. Partitioned dispatch (sim.WithPlacement
+// "partitioned") instead pins every task to one core before the run
+// via utilization-decreasing bin packing — sched.FirstFitDecreasing
+// by default, sched.BestFitDecreasing with "partitioner":
+// "best-fit" — each core's feasibility proved by the paper's exact
+// response-time analysis; cores then schedule independently and jobs
+// never migrate. Multiprocessor runs use the bare engine (admission
+// control and the fault treatments are uniprocessor machinery), so
+// cpus > 1 admits treatment "none", no servers, and the
+// fixed-priority/edf policies only — the strict codec rejects
+// anything else. Checkpoints serialize per-core running state, the
+// invariant oracle generalizes (per-core occupancy, migration
+// legality, work conservation), and the x13 registry entry (rtexp
+// -exp x13, run by make ci) sweeps seeded task sets under both
+// disciplines, requiring global dispatch to succeed at least as
+// often as any feasible partition of the same set.
+//
 // # Verification
 //
 // Beyond the byte-pinned goldens, internal/verify is an online
 // invariant oracle: a trace.Sink that checks every recorded event
-// against the scheduling axioms — monotone timestamps, single-CPU
-// occupancy, strictly periodic releases resolved by their deadlines,
+// against the scheduling axioms — monotone timestamps, single
+// occupancy per core (with migration legality and work conservation
+// on M-core runs), strictly periodic releases resolved by their
+// deadlines,
 // policy-consistent dispatch order (fixed-priority exact, the EDF
 // family via recomputed keys), detector fires at the paper's
 // latest-detection bound, per-task conservation, and server budgets.
@@ -129,7 +157,8 @@
 // "verify": true, or rtrun -check; a violation fails the run with a
 // *verify.Error naming each breach. internal/verify/gen fuzzes the
 // scenario space (seeded UUniFast task sets × fault chains × policies
-// × servers × collection modes) and shrinks a failing scenario to a
+// × servers × collection modes × core counts) and shrinks a failing
+// scenario to a
 // minimal reproducer under testdata/shrunk. The x11 registry entry
 // (rtexp -exp x11, run by make ci) sweeps 60 generated scenarios
 // through the oracle in both collection modes and cross-checks the

@@ -148,7 +148,7 @@ func (ps *PollingServer) Analyze(log *trace.Log) []Served {
 		switch e.Kind {
 		case trace.JobRelease:
 			jobs = append(jobs, e.Job)
-		case trace.JobBegin, trace.JobResume:
+		case trace.JobBegin, trace.JobResume, trace.JobMigrate:
 			open, openJob, running = e.At, e.Job, true
 		case trace.JobPreempt, trace.JobEnd, trace.JobStopped:
 			if running && e.At > open {

@@ -76,7 +76,7 @@ func extract(l *trace.Log, tasks []string, from, to vtime.Time) map[string]*lane
 			continue
 		}
 		switch e.Kind {
-		case trace.JobBegin, trace.JobResume:
+		case trace.JobBegin, trace.JobResume, trace.JobMigrate:
 			open[e.Task] = e.At
 		case trace.JobPreempt, trace.JobEnd, trace.JobStopped:
 			if s, running := open[e.Task]; running {

@@ -10,7 +10,7 @@ import (
 // CheckpointVersion is the serialization version stamped into every
 // Checkpoint. Bump it on any change to the checkpoint structures or
 // to the engine state they capture; Restore rejects other versions.
-const CheckpointVersion = 1
+const CheckpointVersion = 2
 
 // Checkpoint is the complete serializable state of a streaming-mode
 // engine at an event boundary: virtual time, the typed event heap
@@ -40,8 +40,14 @@ type Checkpoint struct {
 	Seq      uint64 `json:"seq"`
 	Switches int64  `json:"switches"`
 	Rng      uint64 `json:"rng"`
-	// Running names the task whose head job holds the CPU (-1 idle).
-	Running int32 `json:"running"`
+	// CPUs and Partition echo the processor topology of the
+	// originating Config; Restore rejects a checkpoint applied under
+	// a different topology.
+	CPUs      int   `json:"cpus"`
+	Partition []int `json:"partition,omitempty"`
+	// Running names, per core, the task whose head job holds that
+	// core (-1 idle).
+	Running []int32 `json:"running"`
 	// Tasks, Events and JobSlots mirror the engine's task table, event
 	// heap (in heap-array order) and deadline-slot table.
 	Tasks    []TaskCheckpoint  `json:"tasks"`
@@ -78,6 +84,7 @@ type JobCheckpoint struct {
 	Overhead    int64 `json:"overhead,omitempty"`
 	WorkLimit   int64 `json:"work_limit,omitempty"`
 	Slot        int32 `json:"slot"`
+	CPU         int32 `json:"cpu,omitempty"`
 	Limited     bool  `json:"limited,omitempty"`
 	Begun       bool  `json:"begun,omitempty"`
 	Missed      bool  `json:"missed,omitempty"`
@@ -122,7 +129,9 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 		Seq:       e.seq,
 		Switches:  e.switches,
 		Rng:       e.rng.State(),
-		Running:   -1,
+		CPUs:      e.cpus,
+		Partition: append([]int(nil), e.cfg.Partition...),
+		Running:   make([]int32, e.cpus),
 		Tasks:     make([]TaskCheckpoint, len(e.tasks)),
 		Events:    make([]EventCheckpoint, len(e.heap)),
 		JobSlots:  make([]SlotCheckpoint, len(e.jobSlots)),
@@ -130,8 +139,11 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 		FreeFns:   append([]int32(nil), e.freeFns...),
 		FnSlots:   len(e.fns),
 	}
-	if e.running != nil {
-		cp.Running = int32(e.running.task.id)
+	for c, j := range e.running {
+		cp.Running[c] = -1
+		if j != nil {
+			cp.Running[c] = int32(j.task.id)
+		}
 	}
 	for i, ts := range e.tasks {
 		tc := TaskCheckpoint{
@@ -150,6 +162,7 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 				Overhead:    int64(j.overhead),
 				WorkLimit:   int64(j.workLimit),
 				Slot:        j.slot,
+				CPU:         j.cpu,
 				Limited:     j.limited,
 				Begun:       j.begun,
 				Missed:      j.missed,
@@ -193,6 +206,20 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	if len(cp.Tasks) != len(e.tasks) {
 		return fmt.Errorf("engine: checkpoint has %d tasks, engine %d", len(cp.Tasks), len(e.tasks))
 	}
+	if cp.CPUs != e.cpus {
+		return fmt.Errorf("engine: checkpoint has %d CPUs, engine %d", cp.CPUs, e.cpus)
+	}
+	if len(cp.Partition) != len(e.cfg.Partition) {
+		return fmt.Errorf("engine: checkpoint partition has %d entries, engine %d", len(cp.Partition), len(e.cfg.Partition))
+	}
+	for i, c := range cp.Partition {
+		if e.cfg.Partition[i] != c {
+			return fmt.Errorf("engine: checkpoint pins task %d to core %d, engine to %d", i, c, e.cfg.Partition[i])
+		}
+	}
+	if len(cp.Running) != e.cpus {
+		return fmt.Errorf("engine: checkpoint has %d run slots for %d CPUs", len(cp.Running), e.cpus)
+	}
 	if at := vtime.Time(cp.Now); at > e.cfg.End {
 		return fmt.Errorf("engine: checkpoint instant %v is past the horizon %v", at, e.cfg.End)
 	}
@@ -230,6 +257,7 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 				overhead:    vtime.Duration(jc.Overhead),
 				workLimit:   vtime.Duration(jc.WorkLimit),
 				slot:        jc.Slot,
+				cpu:         jc.CPU,
 				limited:     jc.Limited,
 				begun:       jc.Begun,
 				missed:      jc.Missed,
@@ -262,7 +290,9 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	// Event heap: the serialized array is a valid heap; loading it
 	// positionally and replaying placed() restores every back-pointer
 	// (Job.dlPos, Engine.cmplPos).
-	e.cmplPos = -1
+	for c := range e.cmplPos {
+		e.cmplPos[c] = -1
+	}
 	e.heap = e.heap[:0]
 	for _, ec := range cp.Events {
 		if eventKind(ec.Kind) == evCallback {
@@ -277,10 +307,15 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		})
 	}
 	for i := range e.heap {
-		if e.heap[i].kind == evDeadline {
+		switch e.heap[i].kind {
+		case evDeadline:
 			s := e.heap[i].arg
 			if int(s) >= len(e.jobSlots) || e.jobSlots[s] == nil {
 				return fmt.Errorf("engine: checkpoint deadline event references empty slot %d", s)
+			}
+		case evCompletion:
+			if c := e.heap[i].arg; int(c) >= e.cpus {
+				return fmt.Errorf("engine: checkpoint completion event references core %d of %d", c, e.cpus)
 			}
 		}
 		e.placed(i)
@@ -290,23 +325,29 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	// id order yields a valid heap whose root is the policy-best head
 	// (readyLess is a total order, so the array layout is irrelevant
 	// to dispatch).
-	e.ready = e.ready[:0]
+	for d := range e.ready {
+		e.ready[d] = e.ready[d][:0]
+	}
 	for _, ts := range e.tasks {
 		if ts.live() > 0 {
 			e.readyPush(ts)
 		}
 	}
 
-	e.running = nil
-	if cp.Running >= 0 {
-		if int(cp.Running) >= len(e.tasks) {
-			return fmt.Errorf("engine: checkpoint running task %d of %d", cp.Running, len(e.tasks))
+	for c := range e.running {
+		e.running[c] = nil
+		id := cp.Running[c]
+		if id < 0 {
+			continue
 		}
-		j := e.tasks[cp.Running].head()
+		if int(id) >= len(e.tasks) {
+			return fmt.Errorf("engine: checkpoint running task %d of %d", id, len(e.tasks))
+		}
+		j := e.tasks[id].head()
 		if j == nil {
-			return fmt.Errorf("engine: checkpoint running task %q has no live job", e.tasks[cp.Running].task.Name)
+			return fmt.Errorf("engine: checkpoint running task %q has no live job", e.tasks[id].task.Name)
 		}
-		e.running = j
+		e.running[c] = j
 	}
 	return nil
 }

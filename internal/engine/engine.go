@@ -6,6 +6,15 @@
 // preempts whom, who misses a deadline — are identical in kind, while
 // the clock is virtual and fully deterministic.
 //
+// Beyond the paper, the engine generalizes to M identical processors
+// (Config.CPUs): global dispatch runs the M policy-best ready jobs,
+// migrating preempted jobs freely between cores (trace.JobMigrate),
+// while partitioned dispatch (Config.Partition) pins each task to one
+// core and schedules every core independently. CPUs=1 is the paper's
+// model and stays byte-identical to the historical single-slot trace
+// format: dispatch events carry the core in trace.Event.Arg, and core
+// 0 encodes as an absent arg.
+//
 // The engine is event driven: job releases, deadline checks, timers
 // (used by the detectors of package detect) and predicted completions
 // are heap-ordered events; between events the running job consumes
@@ -82,6 +91,17 @@ type Config struct {
 	// ContextSwitch is charged to the incoming job at every dispatch
 	// switch (zero by default; used by the detector-overhead sweep).
 	ContextSwitch vtime.Duration
+	// CPUs is the number of identical processors. Zero or one selects
+	// the paper's uniprocessor model.
+	CPUs int
+	// Partition, when non-nil, pins task i of Tasks to core
+	// Partition[i] and dispatches every core independently from its
+	// own subset (partitioned multiprocessor scheduling; see
+	// sched.FirstFitDecreasing / sched.BestFitDecreasing for packing
+	// heuristics). nil with CPUs > 1 selects global dispatch: the M
+	// policy-best ready jobs run, wherever a core is free. Dynamic
+	// admission (AddTask) is global-only.
+	Partition []int
 	// Log receives trace events; a fresh log is created when nil.
 	// Only meaningful with Retain collection — combining it with
 	// Stream is a configuration error.
@@ -182,6 +202,7 @@ type Job struct {
 	workLimit vtime.Duration // executed-work bound from a stop request
 	dlPos     int            // heap position of the deadline check (-1 = none)
 	slot      int32          // jobSlots index backing the deadline event
+	cpu       int32          // core the job runs (or last ran) on
 	limited   bool
 	begun     bool
 	done      bool
@@ -249,9 +270,13 @@ type taskState struct {
 	// stays proportional to the live backlog.
 	pending []*Job
 	phead   int
-	// rdPos is the task's position in the engine's ready queue
-	// (-1 when it has no live job).
-	rdPos   int
+	// rdPos is the task's position in its dispatch domain's ready
+	// queue (-1 when it has no live job).
+	rdPos int
+	// dom is the task's dispatch domain: 0 under global dispatch
+	// (one domain feeds every core), the pinned core under
+	// partitioned dispatch.
+	dom     int32
 	removed bool
 	// jobs retains every job for metrics (bounded by horizon/period).
 	// Left empty under Stream collection, where finished jobs are
@@ -306,8 +331,9 @@ const (
 	// evDeadline checks job at its absolute deadline; cancelled by
 	// removal the moment the job finishes earlier.
 	evDeadline
-	// evCompletion is the running job's predicted completion. At
-	// most one exists; reschedule updates it in place.
+	// evCompletion is a running job's predicted completion (arg =
+	// core). At most one exists per core; reschedule updates it in
+	// place.
 	evCompletion
 )
 
@@ -353,11 +379,19 @@ type Engine struct {
 	tasks  []*taskState
 	byName map[string]*taskState
 
-	heap    []event
-	seq     uint64
-	cmplPos int // heap position of the completion prediction (-1 = none)
+	heap []event
+	seq  uint64
+	// cmplPos[c] is the heap position of core c's completion
+	// prediction (-1 = none).
+	cmplPos []int
 	now     vtime.Time
-	running *Job
+	// running[c] is the job executing on core c (nil = idle).
+	running []*Job
+	// cpus and partitioned cache the Config topology; sel backs the
+	// global top-M selection between events.
+	cpus        int
+	partitioned bool
+	sel         []*Job
 
 	// jobSlots resolves a live deadline event's arg to its job; the
 	// slot is allocated at admission and freed when the deadline
@@ -369,11 +403,12 @@ type Engine struct {
 	fns     []func(now vtime.Time)
 	freeFns []int32
 
-	// ready is a policy-ordered min-heap of the ids of tasks with at
-	// least one live job, keyed by their head job; ties break on task
-	// id so dispatch picks exactly the job the historical linear scan
-	// did.
-	ready []int32
+	// ready[d] is dispatch domain d's policy-ordered min-heap of the
+	// ids of tasks with at least one live job, keyed by their head
+	// job; ties break on task id so dispatch picks exactly the job
+	// the historical linear scan did. One domain under global
+	// dispatch, one per core under partitioned.
+	ready [][]int32
 
 	// scratch backs ReadyJobs between events.
 	scratch []*Job
@@ -408,16 +443,43 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Collect == Stream && cfg.Log != nil {
 		return nil, fmt.Errorf("engine: Config.Log cannot combine with Stream collection (events go to Config.Sink)")
 	}
-	e := &Engine{
-		cfg:     cfg,
-		log:     cfg.Log,
-		sink:    cfg.Sink,
-		stream:  cfg.Collect == Stream,
-		policy:  cfg.Policy,
-		rng:     taskset.NewRand(cfg.Seed),
-		byName:  make(map[string]*taskState, cfg.Tasks.Len()),
-		cmplPos: -1,
+	if cfg.CPUs < 0 {
+		return nil, fmt.Errorf("engine: CPUs must be non-negative, got %d", cfg.CPUs)
 	}
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.Partition != nil {
+		if len(cfg.Partition) != cfg.Tasks.Len() {
+			return nil, fmt.Errorf("engine: Partition has %d entries for %d tasks", len(cfg.Partition), cfg.Tasks.Len())
+		}
+		for i, c := range cfg.Partition {
+			if c < 0 || c >= cfg.CPUs {
+				return nil, fmt.Errorf("engine: Partition[%d] = %d out of range for %d CPUs", i, c, cfg.CPUs)
+			}
+		}
+	}
+	e := &Engine{
+		cfg:         cfg,
+		log:         cfg.Log,
+		sink:        cfg.Sink,
+		stream:      cfg.Collect == Stream,
+		policy:      cfg.Policy,
+		rng:         taskset.NewRand(cfg.Seed),
+		byName:      make(map[string]*taskState, cfg.Tasks.Len()),
+		cpus:        cfg.CPUs,
+		partitioned: cfg.Partition != nil,
+		running:     make([]*Job, cfg.CPUs),
+		cmplPos:     make([]int, cfg.CPUs),
+	}
+	for c := range e.cmplPos {
+		e.cmplPos[c] = -1
+	}
+	domains := 1
+	if e.partitioned {
+		domains = e.cpus
+	}
+	e.ready = make([][]int32, domains)
 	if e.log == nil {
 		n := 4096
 		if e.stream {
@@ -429,8 +491,11 @@ func New(cfg Config) (*Engine, error) {
 		e.policy = FixedPriority{}
 	}
 	_, e.fpFast = e.policy.(FixedPriority)
-	for _, t := range cfg.Tasks.Tasks {
-		e.addTaskState(t, cfg.Faults.For(t.Name))
+	for i, t := range cfg.Tasks.Tasks {
+		ts := e.addTaskState(t, cfg.Faults.For(t.Name))
+		if e.partitioned {
+			ts.dom = int32(cfg.Partition[i])
+		}
 	}
 	return e, nil
 }
@@ -500,9 +565,9 @@ func (e *Engine) scheduleClass(at vtime.Time, class uint8, fn func(now vtime.Tim
 
 // Event-heap primitives: a min-heap on (at, class, seq) that tracks
 // the positions of cancellable entries (deadline checks through
-// Job.dlPos, the completion prediction through Engine.cmplPos) so
-// they can be removed or rekeyed in O(log n) instead of lingering
-// until their instant passes.
+// Job.dlPos, the per-core completion predictions through
+// Engine.cmplPos) so they can be removed or rekeyed in O(log n)
+// instead of lingering until their instant passes.
 
 func (e *Engine) push(ev event) {
 	e.seq++
@@ -520,7 +585,7 @@ func (e *Engine) placed(i int) {
 	case evDeadline:
 		e.jobSlots[ev.arg].dlPos = i
 	case evCompletion:
-		e.cmplPos = i
+		e.cmplPos[ev.arg] = i
 	}
 }
 
@@ -579,7 +644,7 @@ func (e *Engine) clearPos(i int) {
 	case evDeadline:
 		e.jobSlots[ev.arg].dlPos = -1
 	case evCompletion:
-		e.cmplPos = -1
+		e.cmplPos[ev.arg] = -1
 	}
 }
 
@@ -624,14 +689,15 @@ func (e *Engine) pop() (event, bool) {
 	return top, true
 }
 
-// setCompletion predicts the running job's completion at instant at,
-// updating the existing prediction in place when one is pending. The
-// refreshed seq keeps the historical ordering: the prediction always
-// ranks after every event scheduled before the current dispatch, as
-// it did when each dispatch pushed a fresh (then-newest) event.
-func (e *Engine) setCompletion(at vtime.Time) {
+// setCompletion predicts core c's running-job completion at instant
+// at, updating the existing prediction in place when one is pending.
+// The refreshed seq keeps the historical ordering: the prediction
+// always ranks after every event scheduled before the current
+// dispatch, as it did when each dispatch pushed a fresh (then-newest)
+// event.
+func (e *Engine) setCompletion(c int, at vtime.Time) {
 	e.seq++
-	if i := e.cmplPos; i >= 0 {
+	if i := e.cmplPos[c]; i >= 0 {
 		e.heap[i].at = at
 		e.heap[i].seq = e.seq
 		if !e.down(i) {
@@ -640,7 +706,7 @@ func (e *Engine) setCompletion(at vtime.Time) {
 		return
 	}
 	i := len(e.heap)
-	e.heap = append(e.heap, event{at: at, class: classNormal, kind: evCompletion, seq: e.seq})
+	e.heap = append(e.heap, event{at: at, class: classNormal, kind: evCompletion, seq: e.seq, arg: int32(c)})
 	e.placed(i)
 	e.up(i)
 }
@@ -710,18 +776,23 @@ func (e *Engine) step(ev event) {
 	e.reschedule(ev.at)
 }
 
-// advance accrues CPU time to the running job up to instant t.
+// advance accrues CPU time to every core's running job up to instant
+// t.
 func (e *Engine) advance(t vtime.Time) {
 	if t < e.now {
 		return
 	}
-	if e.running != nil && !e.running.done {
-		e.running.Executed += t.Sub(e.now)
-		if e.running.Executed > e.running.demand() {
-			// Events are placed exactly at predicted completions, so
-			// overshoot indicates an engine bug, not a user error.
-			panic(fmt.Sprintf("engine: job %s#%d executed %v past demand %v",
-				e.running.TaskName(), e.running.Q, e.running.Executed, e.running.demand()))
+	d := t.Sub(e.now)
+	for _, j := range e.running {
+		if j != nil && !j.done {
+			j.Executed += d
+			if j.Executed > j.demand() {
+				// Events are placed exactly at predicted completions,
+				// so overshoot indicates an engine bug, not a user
+				// error.
+				panic(fmt.Sprintf("engine: job %s#%d executed %v past demand %v",
+					j.TaskName(), j.Q, j.Executed, j.demand()))
+			}
 		}
 	}
 	e.now = t
@@ -813,12 +884,20 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 	e.push(event{at: now.Add(ts.task.Period), class: classNormal, kind: evRelease, arg: int32(ts.id)})
 }
 
-// finishIfDone terminates the running job once it has consumed its
+// finishIfDone terminates every running job that has consumed its
+// effective demand, in core order.
+func (e *Engine) finishIfDone(now vtime.Time) {
+	for c := range e.running {
+		e.finishCore(c, now)
+	}
+}
+
+// finishCore terminates core c's running job once it has consumed its
 // effective demand: it cancels the pending deadline check, consumes
 // the job from its task's queue, rekeys the ready queue, and (under
 // Stream collection) recycles the record after the hooks ran.
-func (e *Engine) finishIfDone(now vtime.Time) {
-	j := e.running
+func (e *Engine) finishCore(c int, now vtime.Time) {
+	j := e.running[c]
 	if j == nil || j.done || j.Executed < j.demand() {
 		return
 	}
@@ -850,47 +929,135 @@ func (e *Engine) finishIfDone(now vtime.Time) {
 			e.cfg.Hooks.OnFinish(e, j)
 		}
 	}
-	e.running = nil
+	e.running[c] = nil
 	if e.stream {
 		e.recycle(j)
 	}
 }
 
-// reschedule dispatches the best ready job and predicts completion.
+// reschedule dispatches the best ready jobs and predicts completions:
+// per-core from each core's own domain under single-core and
+// partitioned dispatch, top-M from the shared domain under global
+// multiprocessor dispatch.
 func (e *Engine) reschedule(now vtime.Time) {
-	var best *Job
-	if len(e.ready) > 0 {
-		best = e.tasks[e.ready[0]].head()
+	if e.cpus > 1 && !e.partitioned {
+		e.rescheduleGlobal(now)
+		return
 	}
-	if best != e.running {
-		if e.running != nil && !e.running.done {
-			e.Record(trace.Event{At: now, Kind: trace.JobPreempt, Task: e.running.TaskName(), Job: e.running.Q})
-		}
-		if best != nil {
-			if !best.begun {
-				best.begun = true
-				e.Record(trace.Event{At: now, Kind: trace.JobBegin, Task: best.TaskName(), Job: best.Q})
-			} else {
-				e.Record(trace.Event{At: now, Kind: trace.JobResume, Task: best.TaskName(), Job: best.Q})
-			}
-			if e.cfg.ContextSwitch > 0 && e.running != best {
-				best.overhead += e.cfg.ContextSwitch
-			}
-			e.switches++
-		}
-		e.running = best
-	}
-	if e.running != nil {
-		e.setCompletion(now.Add(e.running.Remaining()))
-	} else if e.cmplPos >= 0 {
-		e.removeAt(e.cmplPos)
+	for c := 0; c < e.cpus; c++ {
+		e.rescheduleCore(c, now)
 	}
 }
 
-// Ready-queue primitives: a min-heap of task ids keyed by each
-// task's head job under the policy order, with ties broken by task
-// id — exactly the job the historical linear scan over task heads
-// selected. Entries are plain ints so sifts stay barrier free.
+// rescheduleCore dispatches domain c's best ready job onto core c —
+// the historical single-slot logic, with the core riding in the
+// trace events' Arg (0, and therefore absent, on a uniprocessor).
+func (e *Engine) rescheduleCore(c int, now vtime.Time) {
+	var best *Job
+	if q := e.ready[c]; len(q) > 0 {
+		best = e.tasks[q[0]].head()
+	}
+	if best != e.running[c] {
+		if run := e.running[c]; run != nil && !run.done {
+			e.Record(trace.Event{At: now, Kind: trace.JobPreempt, Task: run.TaskName(), Job: run.Q, Arg: int64(c)})
+		}
+		if best != nil {
+			e.dispatch(best, c, now)
+		}
+		e.running[c] = best
+	}
+	e.predictCompletion(c, now)
+}
+
+// rescheduleGlobal dispatches the M policy-best ready jobs onto the M
+// cores. Selection pops up to M task heads off the shared ready heap
+// in policy order (then pushes them back), so selection rank obeys
+// the same total order — task-id tie-break included — as the
+// single-core root. Jobs that stay selected keep their cores;
+// displaced jobs are preempted in core order; newly selected jobs
+// take the lowest-indexed free cores in policy-rank order, migrating
+// (trace.JobMigrate) when they last ran elsewhere.
+func (e *Engine) rescheduleGlobal(now vtime.Time) {
+	sel := e.sel[:0]
+	for len(sel) < e.cpus && len(e.ready[0]) > 0 {
+		ts := e.tasks[e.ready[0][0]]
+		e.readyRemove(ts)
+		sel = append(sel, ts.head())
+	}
+	for _, j := range sel {
+		e.readyPush(j.task)
+	}
+	// Keep still-selected jobs where they run (their slot in sel is
+	// cleared); preempt the displaced.
+	for c, run := range e.running {
+		if run == nil {
+			continue
+		}
+		kept := false
+		for i, j := range sel {
+			if j == run {
+				sel[i] = nil
+				kept = true
+				break
+			}
+		}
+		if !kept {
+			if !run.done {
+				e.Record(trace.Event{At: now, Kind: trace.JobPreempt, Task: run.TaskName(), Job: run.Q, Arg: int64(c)})
+			}
+			e.running[c] = nil
+		}
+	}
+	free := 0
+	for _, j := range sel {
+		if j == nil {
+			continue
+		}
+		for e.running[free] != nil {
+			free++
+		}
+		e.dispatch(j, free, now)
+		e.running[free] = j
+	}
+	e.sel = sel[:0]
+	for c := range e.running {
+		e.predictCompletion(c, now)
+	}
+}
+
+// dispatch places job j on core c, recording begin on first dispatch,
+// migrate when the job last ran on a different core, resume
+// otherwise, and charging the context-switch cost.
+func (e *Engine) dispatch(j *Job, c int, now vtime.Time) {
+	kind := trace.JobResume
+	if !j.begun {
+		j.begun = true
+		kind = trace.JobBegin
+	} else if j.cpu != int32(c) {
+		kind = trace.JobMigrate
+	}
+	j.cpu = int32(c)
+	e.Record(trace.Event{At: now, Kind: kind, Task: j.TaskName(), Job: j.Q, Arg: int64(c)})
+	if e.cfg.ContextSwitch > 0 {
+		j.overhead += e.cfg.ContextSwitch
+	}
+	e.switches++
+}
+
+// predictCompletion re-predicts core c's completion event from its
+// running job's remaining demand, or cancels it when the core idles.
+func (e *Engine) predictCompletion(c int, now vtime.Time) {
+	if j := e.running[c]; j != nil {
+		e.setCompletion(c, now.Add(j.Remaining()))
+	} else if e.cmplPos[c] >= 0 {
+		e.removeAt(e.cmplPos[c])
+	}
+}
+
+// Ready-queue primitives: per-domain min-heaps of task ids keyed by
+// each task's head job under the policy order, with ties broken by
+// task id — exactly the job the historical linear scan over task
+// heads selected. Entries are plain ints so sifts stay barrier free.
 
 // readyLess orders tasks a and b by their head jobs.
 func (e *Engine) readyLess(a, b int32) bool {
@@ -909,42 +1076,45 @@ func (e *Engine) readyLess(a, b int32) bool {
 }
 
 func (e *Engine) readyPush(ts *taskState) {
-	ts.rdPos = len(e.ready)
-	e.ready = append(e.ready, int32(ts.id))
-	e.readyUp(ts.rdPos)
+	d := ts.dom
+	ts.rdPos = len(e.ready[d])
+	e.ready[d] = append(e.ready[d], int32(ts.id))
+	e.readyUp(d, ts.rdPos)
 }
 
-func (e *Engine) readyUp(i int) {
+func (e *Engine) readyUp(d int32, i int) {
+	q := e.ready[d]
 	for i > 0 {
 		p := (i - 1) / 2
-		if !e.readyLess(e.ready[i], e.ready[p]) {
+		if !e.readyLess(q[i], q[p]) {
 			break
 		}
-		e.ready[i], e.ready[p] = e.ready[p], e.ready[i]
-		e.tasks[e.ready[i]].rdPos = i
-		e.tasks[e.ready[p]].rdPos = p
+		q[i], q[p] = q[p], q[i]
+		e.tasks[q[i]].rdPos = i
+		e.tasks[q[p]].rdPos = p
 		i = p
 	}
 }
 
-func (e *Engine) readyDown(i int) bool {
-	n := len(e.ready)
+func (e *Engine) readyDown(d int32, i int) bool {
+	q := e.ready[d]
+	n := len(q)
 	start := i
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && e.readyLess(e.ready[l], e.ready[small]) {
+		if l < n && e.readyLess(q[l], q[small]) {
 			small = l
 		}
-		if r < n && e.readyLess(e.ready[r], e.ready[small]) {
+		if r < n && e.readyLess(q[r], q[small]) {
 			small = r
 		}
 		if small == i {
 			return i != start
 		}
-		e.ready[i], e.ready[small] = e.ready[small], e.ready[i]
-		e.tasks[e.ready[i]].rdPos = i
-		e.tasks[e.ready[small]].rdPos = small
+		q[i], q[small] = q[small], q[i]
+		e.tasks[q[i]].rdPos = i
+		e.tasks[q[small]].rdPos = small
 		i = small
 	}
 }
@@ -952,8 +1122,8 @@ func (e *Engine) readyDown(i int) bool {
 // readyFix restores ts's heap position after its head job changed.
 func (e *Engine) readyFix(ts *taskState) {
 	if i := ts.rdPos; i >= 0 {
-		if !e.readyDown(i) {
-			e.readyUp(i)
+		if !e.readyDown(ts.dom, i) {
+			e.readyUp(ts.dom, i)
 		}
 	}
 }
@@ -963,16 +1133,18 @@ func (e *Engine) readyRemove(ts *taskState) {
 	if i < 0 {
 		return
 	}
+	d := ts.dom
 	ts.rdPos = -1
-	last := len(e.ready) - 1
+	q := e.ready[d]
+	last := len(q) - 1
 	if i != last {
-		e.ready[i] = e.ready[last]
-		e.tasks[e.ready[i]].rdPos = i
+		q[i] = q[last]
+		e.tasks[q[i]].rdPos = i
 	}
-	e.ready = e.ready[:last]
+	e.ready[d] = q[:last]
 	if i != last {
-		if !e.readyDown(i) {
-			e.readyUp(i)
+		if !e.readyDown(d, i) {
+			e.readyUp(d, i)
 		}
 	}
 }
@@ -1109,6 +1281,9 @@ func (e *Engine) StopJob(task string, q int64, now vtime.Time) {
 func (e *Engine) AddTask(t taskset.Task, m fault.Model, now vtime.Time) error {
 	if err := t.Validate(); err != nil {
 		return err
+	}
+	if e.partitioned {
+		return fmt.Errorf("engine: dynamic admission needs a core assignment under partitioned dispatch; use global dispatch")
 	}
 	if _, exists := e.byName[t.Name]; exists {
 		return fmt.Errorf("engine: task %q already present", t.Name)

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/taskset"
+)
+
+// Partitioned multiprocessor assignment: bin-pack tasks onto M cores
+// so that every core's subset passes the exact uniprocessor admission
+// test (the Eq. 1 load test + response-time computation). Tasks are
+// considered in decreasing utilization order — the classic
+// first-fit/best-fit decreasing heuristics from the partitioned
+// fixed-priority literature. A successful packing is a schedulability
+// proof per core; failure does not prove infeasibility (bin packing
+// is a heuristic), it only means this heuristic found no partition.
+
+// FirstFitDecreasing assigns each task (highest utilization first,
+// ties by declaration order) to the lowest-indexed core whose subset
+// stays feasible under the exact test. It returns assignment[i] =
+// core of s.Tasks[i], or an error naming the first task that fits no
+// core.
+func FirstFitDecreasing(s *taskset.Set, cores int) ([]int, error) {
+	return packDecreasing(s, cores, firstFit)
+}
+
+// BestFitDecreasing assigns each task (highest utilization first,
+// ties by declaration order) to the feasible core with the highest
+// resulting utilization — packing cores tightly to keep later, larger
+// cores free. Ties break toward the lower core index.
+func BestFitDecreasing(s *taskset.Set, cores int) ([]int, error) {
+	return packDecreasing(s, cores, bestFit)
+}
+
+// pickCore chooses among the cores where the candidate task fits;
+// bins[c] is the (feasible) subset already on core c. It returns the
+// chosen core or -1 if the task fits nowhere.
+type pickCore func(bins [][]taskset.Task, t taskset.Task) int
+
+func firstFit(bins [][]taskset.Task, t taskset.Task) int {
+	for c := range bins {
+		if fits(bins[c], t) {
+			return c
+		}
+	}
+	return -1
+}
+
+func bestFit(bins [][]taskset.Task, t taskset.Task) int {
+	best, bestUtil := -1, -1.0
+	for c := range bins {
+		if !fits(bins[c], t) {
+			continue
+		}
+		u := t.Utilization()
+		for _, other := range bins[c] {
+			u += other.Utilization()
+		}
+		if u > bestUtil {
+			best, bestUtil = c, u
+		}
+	}
+	return best
+}
+
+// fits reports whether bin ∪ {t} passes the exact admission test.
+func fits(bin []taskset.Task, t taskset.Task) bool {
+	cand := make([]taskset.Task, 0, len(bin)+1)
+	cand = append(cand, bin...)
+	cand = append(cand, t)
+	sub, err := taskset.New(cand...)
+	if err != nil {
+		return false
+	}
+	rep, err := analysis.Feasible(sub)
+	return err == nil && rep.Feasible
+}
+
+func packDecreasing(s *taskset.Set, cores int, pick pickCore) ([]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("sched: partitioning needs at least 1 core, got %d", cores)
+	}
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Tasks[order[a]].Utilization() > s.Tasks[order[b]].Utilization()
+	})
+	bins := make([][]taskset.Task, cores)
+	assignment := make([]int, s.Len())
+	for _, i := range order {
+		t := s.Tasks[i]
+		c := pick(bins, t)
+		if c < 0 {
+			return nil, fmt.Errorf("sched: task %q (utilization %.3f) fits no core of %d; no feasible partition found", t.Name, t.Utilization(), cores)
+		}
+		bins[c] = append(bins[c], t)
+		assignment[i] = c
+	}
+	return assignment, nil
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/taskset"
+)
+
+// checkPartition validates that assignment respects the exact test on
+// every core's subset.
+func checkPartition(t *testing.T, s *taskset.Set, assignment []int, cores int) {
+	t.Helper()
+	if len(assignment) != s.Len() {
+		t.Fatalf("assignment length %d, want %d", len(assignment), s.Len())
+	}
+	bins := make([][]taskset.Task, cores)
+	for i, c := range assignment {
+		if c < 0 || c >= cores {
+			t.Fatalf("task %d assigned to core %d of %d", i, c, cores)
+		}
+		bins[c] = append(bins[c], s.Tasks[i])
+	}
+	for c, bin := range bins {
+		if len(bin) == 0 {
+			continue
+		}
+		if !Feasible(taskset.MustNew(bin...)) {
+			t.Errorf("core %d subset infeasible: %v", c, names(bin))
+		}
+	}
+}
+
+func names(tasks []taskset.Task) []string {
+	out := make([]string, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// fourHalves needs two cores: four tasks of utilization 0.5 each.
+func fourHalves() *taskset.Set {
+	return taskset.MustNew(
+		withPrio(task("a", 100, 100, 50), 4),
+		withPrio(task("b", 100, 100, 50), 3),
+		withPrio(task("c", 100, 100, 50), 2),
+		withPrio(task("d", 100, 100, 50), 1),
+	)
+}
+
+func TestFirstFitDecreasingPacks(t *testing.T) {
+	s := fourHalves()
+	got, err := FirstFitDecreasing(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, got, 2)
+	// Equal utilizations tie-break by declaration order, so FFD fills
+	// core 0 with a+b, core 1 with c+d.
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFD assignment %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFirstFitDecreasingFailsWhenOverfull(t *testing.T) {
+	s := fourHalves()
+	if _, err := FirstFitDecreasing(s, 1); err == nil {
+		t.Fatal("four 0.5-utilization tasks packed onto one core")
+	}
+}
+
+func TestBestFitPrefersFullestFeasibleCore(t *testing.T) {
+	// Utilizations 0.6, 0.5, 0.3, 0.2 on two cores. Both heuristics
+	// place 0.6→core0, 0.5→core1 (0.6+0.5 > 1 fails the load test),
+	// then 0.3→core0 (0.9, feasible for harmonic periods). The final
+	// 0.2 task overloads core 0 (1.1), so it lands on core 1 either
+	// way: first fit by falling through, best fit because core 1 is
+	// the only feasible core left.
+	s := taskset.MustNew(
+		withPrio(task("u6", 100, 100, 60), 4),
+		withPrio(task("u5", 200, 200, 100), 3),
+		withPrio(task("u3", 400, 400, 120), 2),
+		withPrio(task("u2", 800, 800, 160), 1),
+	)
+	ffd, err := FirstFitDecreasing(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, ffd, 2)
+	bfd, err := BestFitDecreasing(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, bfd, 2)
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if ffd[i] != want[i] {
+			t.Fatalf("FFD assignment %v, want %v", ffd, want)
+		}
+		if bfd[i] != want[i] {
+			t.Fatalf("BFD assignment %v, want %v", bfd, want)
+		}
+	}
+}
+
+func TestBestFitDivergesFromFirstFit(t *testing.T) {
+	// Cores pre-loaded at 0.3 / 0.5 / 0.1; a 0.4-utilization
+	// candidate fits all three. First fit takes the lowest index
+	// (core 0); best fit takes the fullest feasible core (core 1,
+	// reaching 0.9).
+	bins := [][]taskset.Task{
+		{task("a", 100, 100, 30)},
+		{task("b", 100, 100, 50)},
+		{task("c", 100, 100, 10)},
+	}
+	cand := withPrio(task("x", 100, 100, 40), 9)
+	if got := firstFit(bins, cand); got != 0 {
+		t.Fatalf("first-fit picked core %d, want 0", got)
+	}
+	// Best fit: core 1 would reach 0.9 — the fullest feasible core.
+	if got := bestFit(bins, cand); got != 1 {
+		t.Fatalf("best-fit picked core %d, want 1", got)
+	}
+}
+
+func TestPartitionRejectsBadCoreCount(t *testing.T) {
+	if _, err := FirstFitDecreasing(fourHalves(), 0); err == nil {
+		t.Fatal("cores=0 accepted")
+	}
+}

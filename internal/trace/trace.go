@@ -55,6 +55,11 @@ const (
 	TaskAdded
 	// TaskRemoved: dynamic admission removed a task at runtime.
 	TaskRemoved
+	// JobMigrate: a preempted job was dispatched again on a
+	// different core than it last ran on (Arg = new core). Global
+	// multiprocessor dispatch only; never emitted at cpus=1 or under
+	// partitioned placement.
+	JobMigrate
 )
 
 var kindNames = [...]string{
@@ -71,6 +76,7 @@ var kindNames = [...]string{
 	AllowanceGrant:  "grant",
 	TaskAdded:       "addtask",
 	TaskRemoved:     "rmtask",
+	JobMigrate:      "migrate",
 }
 
 // String names the kind as used in the log format.
@@ -102,7 +108,11 @@ type Event struct {
 	// Job is the 0-based job index within the task (-1 if n/a).
 	Job int64
 	// Arg carries event-specific data: for AllowanceGrant the grant
-	// duration in ns, for StopRequest the scheduled stop instant.
+	// duration in ns, for StopRequest the scheduled stop instant,
+	// and for JobBegin/JobResume/JobPreempt/JobMigrate the core the
+	// job (is/was) running on. Core 0 encodes as an absent arg, so
+	// single-processor traces are byte-identical to the pre-M-core
+	// format.
 	Arg int64
 }
 

@@ -121,6 +121,12 @@ func FuzzCheckpoint(f *testing.F) {
 	for seed := uint64(0); seed < 6; seed++ {
 		f.Add(seed, uint8(seed*47))
 	}
+	// Multiprocessor corpus: the smallest seeds whose checkpointable
+	// derivation draws 2, 4 and 8 cores — the split≡unsplit guarantee
+	// must hold with per-core running state in the snapshot.
+	for _, seed := range []uint64{38, 53, 25} {
+		f.Add(seed, uint8(seed*47))
+	}
 	f.Fuzz(func(t *testing.T, seed uint64, fracByte uint8) {
 		sc := gen.Checkpointable(seed)
 		frac := float64(fracByte) / 255
@@ -133,7 +139,13 @@ func FuzzCheckpoint(f *testing.F) {
 // TestFuzzCheckpointSeedsSmoke keeps the fuzz body exercised under
 // plain `go test`.
 func TestFuzzCheckpointSeedsSmoke(t *testing.T) {
+	seeds := make([]uint64, 0, 13)
 	for seed := uint64(0); seed < 10; seed++ {
+		seeds = append(seeds, seed)
+	}
+	// The multiprocessor corpus seeds (see FuzzCheckpoint).
+	seeds = append(seeds, 38, 53, 25)
+	for _, seed := range seeds {
 		sc := gen.Checkpointable(seed)
 		for _, frac := range []float64{0.2, 0.6, 0.95} {
 			if err := checkpointDifferential(sc, frac); err != nil {

@@ -34,6 +34,12 @@ func FuzzScenario(f *testing.F) {
 	for seed := uint64(0); seed < 8; seed++ {
 		f.Add(seed)
 	}
+	// Multiprocessor corpus: the smallest seeds drawing each core
+	// count (49→2, 53→4, 139→8 global; 38/58/25 partitioned), so the
+	// fuzzer starts from every placement the codec can express.
+	for _, seed := range []uint64{49, 53, 139, 38, 58, 25} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		sc := gen.Scenario(seed)
 		for _, mode := range gen.LegalCollectModes(&sc) {
@@ -58,7 +64,13 @@ func FuzzScenario(f *testing.F) {
 // test` (fuzzing only runs with -fuzz): a deterministic sweep over a
 // small seed range.
 func TestFuzzSeedsSmoke(t *testing.T) {
+	seeds := make([]uint64, 0, 30)
 	for seed := uint64(0); seed < 24; seed++ {
+		seeds = append(seeds, seed)
+	}
+	// The multiprocessor corpus seeds (see FuzzScenario).
+	seeds = append(seeds, 49, 53, 139, 38, 58, 25)
+	for _, seed := range seeds {
 		sc := gen.Scenario(seed)
 		for _, mode := range gen.LegalCollectModes(&sc) {
 			if err := runVerified(sc, mode); err != nil {

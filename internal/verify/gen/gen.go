@@ -3,8 +3,9 @@
 // declarative scenario — a UUniFast task set composed with random
 // fault chains (overrun / underrun / jitter / interference), a
 // registered scheduling policy, optional aperiodic polling servers,
-// a collection mode and the run knobs (timer resolution, stop poll,
-// stop jitter, context switch) — and greedily shrinks a failing
+// a collection mode, a core count (1, 2, 4 or 8, global or
+// partitioned dispatch) and the run knobs (timer resolution, stop
+// poll, stop jitter, context switch) — and greedily shrinks a failing
 // scenario to a minimal reproducer (see Shrink). Together with the
 // invariant oracle of the parent package, every generated scenario is
 // a self-verifying experiment: run it with "verify": true and any
@@ -136,6 +137,30 @@ func Scenario(seed uint64) scenario.Scenario {
 
 	for i, k := 0, r.Intn(4); i < k; i++ { // 0..3 fault entries
 		addFault(&sc, r)
+	}
+
+	// Multiprocessor draw, last in the derivation so every logged seed
+	// keeps the task set, faults and knobs it has always produced and
+	// only *gains* a core count. Multicore runs support treatment none,
+	// no servers and the fixed-priority/edf policies only (the codec
+	// enforces it), so the draw is gated the same way.
+	if treatment == "none" && len(sc.Servers) == 0 &&
+		(policy == "fixed-priority" || policy == "edf") && r.Float64() < 0.30 {
+		sc.CPUs = []int{2, 4, 8}[r.Intn(3)]
+		// cpus > 1 runs the bare engine unconditionally; the codec
+		// rejects a redundant skip_admission.
+		sc.SkipAdmission = false
+		if r.Float64() < 0.5 {
+			sc.Placement = scenario.PlacementPartitioned
+			if r.Float64() < 0.5 {
+				sc.Partitioner = scenario.PartitionBestFit
+			}
+			if _, err := sc.Partition(); err != nil {
+				// The drawn set has no feasible packing onto the drawn
+				// core count: run it global instead.
+				sc.Placement, sc.Partitioner = "", ""
+			}
+		}
 	}
 
 	if err := sc.Validate(); err != nil {

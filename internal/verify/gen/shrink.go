@@ -72,6 +72,7 @@ func Shrink(sc scenario.Scenario, fails Failure) scenario.Scenario {
 			func(s *scenario.Scenario) { s.ContextSwitch = 0 },
 			func(s *scenario.Scenario) { s.Collect = nil },
 			func(s *scenario.Scenario) { s.Treatment = "none" },
+			func(s *scenario.Scenario) { s.CPUs, s.Placement, s.Partitioner = 0, "", "" },
 		} {
 			cand := cur
 			clear(&cand)

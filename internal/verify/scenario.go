@@ -13,9 +13,12 @@ import (
 // satisfy: the declared tasks (periodic tasks first, then one per
 // server, matching the engine's id order), the named policy's
 // dispatch order, the detector offsets the treatment arms (recomputed
-// from the allowance analysis, exactly as the supervisor does), and
-// the budgets of servers whose demand is not perturbed by a declared
-// fault. It is how a decoded trace on disk is replayed semantically.
+// from the allowance analysis, exactly as the supervisor does), the
+// budgets of servers whose demand is not perturbed by a declared
+// fault, and — on multiprocessor scenarios — the CPU count plus the
+// partitioned task→core assignment, recomputed by the same bin
+// packing the run uses. It is how a decoded trace on disk is
+// replayed semantically.
 func ForScenario(sc *scenario.Scenario) (*Checker, error) {
 	set, err := sc.TaskSet()
 	if err != nil {
@@ -27,6 +30,17 @@ func ForScenario(sc *scenario.Scenario) (*Checker, error) {
 		ServerBudgets: ServerBudgets(sc),
 		ContextSwitch: sc.ContextSwitch.D(),
 		Horizon:       vtime.Time(sc.Horizon),
+		CPUs:          sc.CPUs,
+	}
+	if sc.Partitioned() {
+		assignment, err := sc.Partition()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Assignment = make(map[string]int, set.Len())
+		for i, t := range set.Tasks {
+			cfg.Assignment[t.Name] = assignment[i]
+		}
 	}
 	tr, err := detect.ParseTreatment(sc.Treatment)
 	if err != nil {

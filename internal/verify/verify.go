@@ -9,8 +9,16 @@
 // The axioms checked, per event:
 //
 //   - timestamps are monotone (non-decreasing);
-//   - at most one job runs at any instant, and a dispatch switch is
-//     always bracketed by the displaced job's preempt/end/stop;
+//   - at most one job runs per core at any instant, and a dispatch
+//     switch is always bracketed by the displaced job's
+//     preempt/end/stop;
+//   - on multiprocessor runs (CPUs > 1): a resume stays on the job's
+//     last core — a cross-core dispatch must be a JobMigrate, which
+//     in turn must change core; under partitioned placement every
+//     dispatch lands on the task's pinned core and nothing ever
+//     migrates; and at every settled instant (all events of that
+//     time processed) no core idles while an eligible job waits
+//     (work conservation — per core under partitioned placement);
 //   - jobs of one task are released strictly periodically
 //     (offset + q·T) and dispatched in release order (only the head
 //     of a task's backlog may run — the arbitrary-deadline model);
@@ -111,6 +119,15 @@ type Config struct {
 	// ContextSwitch is the per-dispatch overhead charged by the run,
 	// admitted on top of each server budget.
 	ContextSwitch vtime.Duration
+	// CPUs is the number of processors of the run (0 means 1). The
+	// multiprocessor axioms — migration legality, work conservation —
+	// arm only when CPUs > 1; per-core occupancy degenerates to the
+	// classic single-running-job rule at 1.
+	CPUs int
+	// Assignment pins task names to cores under partitioned
+	// placement; nil means global dispatch. A pinned task dispatched
+	// on any other core, or migrating at all, is a violation.
+	Assignment map[string]int
 	// Horizon is the run's end instant, used by Finish to decide
 	// which live jobs legitimately outlast the simulation.
 	Horizon vtime.Time
@@ -151,6 +168,7 @@ type jobState struct {
 	runSince    vtime.Time
 	executed    vtime.Duration
 	dispatches  int64
+	cpu         int // core the job is running on (or last ran on)
 }
 
 func (j *jobState) name() string { return fmt.Sprintf("%s#%d", j.tc.name, j.q) }
@@ -163,6 +181,8 @@ type taskCheck struct {
 	known   bool // declared in Config.Tasks (dynamic tasks are not)
 	removed bool
 	budget  vtime.Duration // server capacity (0 = unchecked)
+	core    int            // pinned core under partitioned placement
+	pinned  bool           // set when Config.Assignment names the task
 
 	nextQ    int64 // next expected release index
 	nextDetQ int64 // next expected detector check index
@@ -242,9 +262,11 @@ type Checker struct {
 	tasks  []*taskCheck
 	byName map[string]*taskCheck
 
-	lastAt  vtime.Time
-	seen    bool
-	running *jobState
+	lastAt vtime.Time
+	seen   bool
+	// running[c] is the job currently occupying core c (nil = idle);
+	// length 1 on uniprocessor runs.
+	running []*jobState
 
 	// dlheap is a min-heap of live, not-yet-expired jobs by absolute
 	// deadline: once the clock passes a deadline, the job there must
@@ -264,15 +286,29 @@ func New(cfg Config) (*Checker, error) {
 	if cfg.MaxViolations <= 0 {
 		cfg.MaxViolations = DefaultMaxViolations
 	}
+	if cfg.CPUs < 0 {
+		return nil, fmt.Errorf("verify: Config.CPUs must be non-negative, got %d", cfg.CPUs)
+	}
+	cpus := cfg.CPUs
+	if cpus == 0 {
+		cpus = 1
+	}
 	c := &Checker{
-		cfg:    cfg,
-		order:  orderFor(cfg.Policy),
-		byName: make(map[string]*taskCheck, cfg.Tasks.Len()),
+		cfg:     cfg,
+		order:   orderFor(cfg.Policy),
+		byName:  make(map[string]*taskCheck, cfg.Tasks.Len()),
+		running: make([]*jobState, cpus),
 	}
 	for i, t := range cfg.Tasks.Tasks {
 		tc := &taskCheck{name: t.Name, id: i, task: t, known: true}
 		if cfg.ServerBudgets != nil {
 			tc.budget = cfg.ServerBudgets[t.Name]
+		}
+		if core, ok := cfg.Assignment[t.Name]; ok {
+			if core < 0 || core >= cpus {
+				return nil, fmt.Errorf("verify: task %q assigned to core %d of %d", t.Name, core, cpus)
+			}
+			tc.core, tc.pinned = core, true
 		}
 		c.tasks = append(c.tasks, tc)
 		c.byName[t.Name] = tc
@@ -407,11 +443,28 @@ func (c *Checker) expireDeadlines(now vtime.Time) {
 	}
 }
 
-// checkDispatch validates one begin/resume: the job must be its
-// task's backlog head and policy-best across every live head.
-func (c *Checker) checkDispatch(at vtime.Time, j *jobState, kind string) {
-	if c.running != nil && c.running != j {
-		c.violate(at, "double-run", "%s of %s while %s is still running", kind, j.name(), c.running.name())
+// core validates an event's core index against the configured CPU
+// count, clamping out-of-range values to 0 after flagging them so
+// the remaining bookkeeping can proceed.
+func (c *Checker) core(e trace.Event) int {
+	cpu := int(e.Arg)
+	if cpu < 0 || cpu >= len(c.running) {
+		c.violate(e.At, "cpu-index", "event %v of %s#%d names core %d of a %d-core run", e.Kind, e.Task, e.Job, cpu, len(c.running))
+		return 0
+	}
+	return cpu
+}
+
+// checkDispatch validates one begin/resume/migrate: the job must be
+// its task's backlog head and policy-best across the heads competing
+// for the same dispatch slot.
+func (c *Checker) checkDispatch(at vtime.Time, j *jobState, kind string, cpu int) {
+	if other := c.running[cpu]; other != nil && other != j {
+		c.violate(at, "double-run", "%s of %s while %s is still running", kind, j.name(), other.name())
+	}
+	if j.tc.pinned && j.tc.core != cpu {
+		c.violate(at, "partition-placement", "%s of %s on core %d, but the task is pinned to core %d",
+			kind, j.name(), cpu, j.tc.core)
 	}
 	if h := j.tc.headJob(); h != j {
 		c.violate(at, "dispatch-non-head", "%s of %s but the task's oldest live job is %s (FIFO within a task)",
@@ -420,15 +473,38 @@ func (c *Checker) checkDispatch(at vtime.Time, j *jobState, kind string) {
 	if c.order == orderUnknown || !j.tc.known {
 		return
 	}
+	mcore := len(c.running) > 1
 	for _, tc := range c.tasks {
 		if tc == j.tc || !tc.known {
 			continue
 		}
-		if h := tc.headJob(); h != nil && c.better(h, j) {
+		if tc.pinned && tc.core != cpu {
+			// Partitioned placement: each core dispatches from its own
+			// subset only, so cross-core heads never compete.
+			continue
+		}
+		h := tc.headJob()
+		if h == nil {
+			continue
+		}
+		if mcore && h.running {
+			// On M cores a better-ranked head already occupying
+			// another core does not outrank this dispatch slot.
+			continue
+		}
+		if c.better(h, j) {
 			c.violate(at, "dispatch-order", "%s of %s while ready job %s is preferred by policy %q",
 				kind, j.name(), h.name(), c.cfg.Policy)
 		}
 	}
+}
+
+// dispatched applies the shared bookkeeping of begin/resume/migrate.
+func (c *Checker) dispatched(j *jobState, cpu int, at vtime.Time) {
+	j.begun, j.running, j.runSince = true, true, at
+	j.cpu = cpu
+	j.dispatches++
+	c.running[cpu] = j
 }
 
 // stopRun pauses j's execution accounting at instant now.
@@ -437,8 +513,45 @@ func (c *Checker) stopRun(j *jobState, now vtime.Time) {
 		j.executed += now.Sub(j.runSince)
 		j.running = false
 	}
-	if c.running == j {
-		c.running = nil
+	if c.running[j.cpu] == j {
+		c.running[j.cpu] = nil
+	}
+}
+
+// workConservation enforces, at a settled instant (every event of
+// that time already processed), that no core idles while an eligible
+// job waits: global dispatch fills every idle core from the union of
+// ready heads; partitioned dispatch fills each core from its own
+// subset. Armed only on multiprocessor runs. Polling servers, which
+// legally idle on exhausted budget, are excluded.
+func (c *Checker) workConservation(at vtime.Time) {
+	idle := -1
+	for cpu, j := range c.running {
+		if j == nil {
+			idle = cpu
+			break
+		}
+	}
+	if idle < 0 {
+		return
+	}
+	for _, tc := range c.tasks {
+		if tc.removed || tc.budget > 0 {
+			continue
+		}
+		h := tc.headJob()
+		if h == nil || h.running {
+			continue
+		}
+		if tc.pinned {
+			if c.running[tc.core] != nil {
+				continue
+			}
+			c.violate(at, "work-conservation", "core %d idle at settled instant %v while %s waits on it", tc.core, at, h.name())
+			return
+		}
+		c.violate(at, "work-conservation", "core %d idle at settled instant %v while %s is ready", idle, at, h.name())
+		return
 	}
 }
 
@@ -450,6 +563,10 @@ func (c *Checker) Append(e trace.Event) {
 	}
 	if c.seen && e.At.Before(c.lastAt) {
 		c.violate(e.At, "monotone-time", "event %v at %v after an event at %v", e.Kind, e.At, c.lastAt)
+	}
+	if c.seen && e.At.After(c.lastAt) && len(c.running) > 1 {
+		// Time advanced: the state at lastAt is settled — check it.
+		c.workConservation(c.lastAt)
 	}
 	c.seen = true
 	if e.At.After(c.lastAt) {
@@ -485,36 +602,59 @@ func (c *Checker) Append(e trace.Event) {
 			c.violate(e.At, "dispatch-unknown-job", "begin of %s#%d which is not live", tc.name, e.Job)
 			return
 		}
+		cpu := c.core(e)
 		if j.begun {
 			c.violate(e.At, "double-begin", "second begin of %s", j.name())
 		}
-		c.checkDispatch(e.At, j, "begin")
-		j.begun, j.running, j.runSince = true, true, e.At
-		j.dispatches++
-		c.running = j
+		c.checkDispatch(e.At, j, "begin", cpu)
+		c.dispatched(j, cpu, e.At)
 	case trace.JobResume:
 		j := tc.jobAt(e.Job)
 		if j == nil {
 			c.violate(e.At, "dispatch-unknown-job", "resume of %s#%d which is not live", tc.name, e.Job)
 			return
 		}
+		cpu := c.core(e)
 		if !j.begun {
 			c.violate(e.At, "resume-before-begin", "resume of %s which never began", j.name())
+		} else if cpu != j.cpu {
+			c.violate(e.At, "resume-core", "resume of %s on core %d but it last ran on core %d (a cross-core dispatch must be a migrate)",
+				j.name(), cpu, j.cpu)
 		}
 		if j.running {
 			c.violate(e.At, "resume-running", "resume of %s which is already running", j.name())
 		}
-		c.checkDispatch(e.At, j, "resume")
-		j.begun, j.running, j.runSince = true, true, e.At
-		j.dispatches++
-		c.running = j
+		c.checkDispatch(e.At, j, "resume", cpu)
+		c.dispatched(j, cpu, e.At)
+	case trace.JobMigrate:
+		j := tc.jobAt(e.Job)
+		if j == nil {
+			c.violate(e.At, "dispatch-unknown-job", "migrate of %s#%d which is not live", tc.name, e.Job)
+			return
+		}
+		cpu := c.core(e)
+		if !j.begun {
+			c.violate(e.At, "migrate-before-begin", "migrate of %s which never began", j.name())
+		} else if cpu == j.cpu {
+			c.violate(e.At, "migrate-same-core", "migrate of %s onto core %d where it already ran (a same-core dispatch is a resume)", j.name(), cpu)
+		}
+		if j.running {
+			c.violate(e.At, "migrate-running", "migrate of %s which is already running", j.name())
+		}
+		if c.cfg.Assignment != nil {
+			c.violate(e.At, "partition-migration", "migrate of %s under partitioned placement (pinned tasks never migrate)", j.name())
+		}
+		c.checkDispatch(e.At, j, "migrate", cpu)
+		c.dispatched(j, cpu, e.At)
 	case trace.JobPreempt:
 		j := tc.jobAt(e.Job)
-		if j == nil || !j.running || c.running != j {
+		if j == nil {
 			c.violate(e.At, "preempt-not-running", "preempt of %s#%d which is not the running job", tc.name, e.Job)
-			if j == nil {
-				return
-			}
+			return
+		}
+		cpu := c.core(e)
+		if !j.running || c.running[cpu] != j {
+			c.violate(e.At, "preempt-not-running", "preempt of %s#%d which is not the job running on core %d", tc.name, e.Job, cpu)
 		}
 		c.stopRun(j, e.At)
 	case trace.JobEnd:
@@ -614,7 +754,7 @@ func (c *Checker) terminal(e trace.Event, tc *taskCheck, stopped bool) {
 		return
 	}
 	if j.begun {
-		if !j.running || c.running != j {
+		if !j.running || c.running[j.cpu] != j {
 			c.violate(e.At, "terminal-not-running", "%s of %s which is not the running job (only the running job can terminate)", kind, j.name())
 		}
 		if h := tc.headJob(); h != j {
@@ -658,6 +798,10 @@ func (c *Checker) Finish() {
 	end := c.cfg.Horizon
 	if end < c.lastAt {
 		end = c.lastAt
+	}
+	if c.seen && len(c.running) > 1 {
+		// The trace's final state is settled through the horizon.
+		c.workConservation(c.lastAt)
 	}
 	// The engine processes events up to and including the horizon, so
 	// a deadline exactly at the horizon has had its miss recorded.

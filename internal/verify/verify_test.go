@@ -467,3 +467,141 @@ func TestCheckerQueueCompacts(t *testing.T) {
 		t.Errorf("checker queue capacity %d grew with %d releases (head=%d)", cap(tc.queue), jobs, tc.head)
 	}
 }
+
+// evc is ev with a core argument, for multiprocessor dispatch events.
+func evc(atMS int64, kind trace.Kind, task string, job int64, core int64) trace.Event {
+	e := ev(atMS, kind, task, job)
+	e.Arg = core
+	return e
+}
+
+func TestMulticoreCleanTracePasses(t *testing.T) {
+	// The canonical migration witness on 2 cores: hi and mid start in
+	// parallel, lo follows hi on core 0, is preempted there by hi#1,
+	// and migrates onto core 1 once mid completes. No axiom fires.
+	set := taskset.MustNew(
+		taskset.Task{Name: "hi", Priority: 3, Period: vtime.Millis(50), Deadline: vtime.Millis(50), Cost: vtime.Millis(20)},
+		taskset.Task{Name: "mid", Priority: 2, Period: vtime.Millis(200), Deadline: vtime.Millis(200), Cost: vtime.Millis(60)},
+		taskset.Task{Name: "lo", Priority: 1, Period: vtime.Millis(200), Deadline: vtime.Millis(200), Cost: vtime.Millis(60)},
+	)
+	c := checker(t, Config{Tasks: set, CPUs: 2, Horizon: vtime.AtMillis(90)})
+	feed(c,
+		ev(0, trace.JobRelease, "hi", 0),
+		ev(0, trace.JobRelease, "mid", 0),
+		ev(0, trace.JobRelease, "lo", 0),
+		evc(0, trace.JobBegin, "hi", 0, 0),
+		evc(0, trace.JobBegin, "mid", 0, 1),
+		ev(20, trace.JobEnd, "hi", 0),
+		evc(20, trace.JobBegin, "lo", 0, 0),
+		ev(50, trace.JobRelease, "hi", 1),
+		evc(50, trace.JobPreempt, "lo", 0, 0),
+		evc(50, trace.JobBegin, "hi", 1, 0),
+		ev(60, trace.JobEnd, "mid", 0),
+		evc(60, trace.JobMigrate, "lo", 0, 1),
+		ev(70, trace.JobEnd, "hi", 1),
+		ev(90, trace.JobEnd, "lo", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean 2-core trace flagged: %v", err)
+	}
+}
+
+func TestResumeOnDifferentCore(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		evc(0, trace.JobBegin, "t1", 0, 0),
+		evc(1, trace.JobPreempt, "t1", 0, 0),
+		evc(1, trace.JobResume, "t1", 0, 1), // cross-core resume, not a migrate
+		ev(3, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "resume-core")
+}
+
+func TestMigrateOntoSameCore(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		evc(0, trace.JobBegin, "t1", 0, 0),
+		evc(1, trace.JobPreempt, "t1", 0, 0),
+		evc(1, trace.JobMigrate, "t1", 0, 0), // same core: must be a resume
+		ev(3, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "migrate-same-core")
+}
+
+func TestPartitionPlacement(t *testing.T) {
+	c := checker(t, Config{
+		Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10),
+		Assignment: map[string]int{"t1": 0, "t2": 1},
+	})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		evc(0, trace.JobBegin, "t1", 0, 1), // t1 is pinned to core 0
+		ev(2, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "partition-placement")
+}
+
+func TestPartitionedMigrationForbidden(t *testing.T) {
+	c := checker(t, Config{
+		Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10),
+		Assignment: map[string]int{"t1": 0, "t2": 1},
+	})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		evc(0, trace.JobBegin, "t1", 0, 0),
+		evc(1, trace.JobPreempt, "t1", 0, 0),
+		evc(1, trace.JobMigrate, "t1", 0, 1),
+		ev(3, trace.JobEnd, "t1", 0),
+	)
+	// The migrate itself is outlawed under partitioned placement, and
+	// it also lands the job off its pinned core.
+	wantRule(t, c, "partition-migration", "partition-placement")
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Core 1 idles over (0,1) while t2's released job waits: global
+	// dispatch on 2 cores must have filled the idle core.
+	c := checker(t, Config{Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		evc(0, trace.JobBegin, "t1", 0, 0),
+		evc(1, trace.JobBegin, "t2", 0, 1), // late: should have begun at 0
+		ev(2, trace.JobEnd, "t1", 0),
+		ev(6, trace.JobEnd, "t2", 0),
+	)
+	wantRule(t, c, "work-conservation")
+}
+
+func TestWorkConservationPartitionedIgnoresOtherCores(t *testing.T) {
+	// Under partitioned placement t2 (pinned to busy core 1) waiting
+	// while core 0 idles is legal — that is the whole point of the
+	// partitioned/global differential.
+	c := checker(t, Config{
+		Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(20),
+		Assignment: map[string]int{"t1": 1, "t2": 1},
+	})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		ev(0, trace.JobRelease, "t2", 0),
+		evc(0, trace.JobBegin, "t1", 0, 1),
+		ev(2, trace.JobEnd, "t1", 0),
+		evc(2, trace.JobBegin, "t2", 0, 1),
+		ev(7, trace.JobEnd, "t2", 0),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("partitioned wait flagged: %v", err)
+	}
+}
+
+func TestCPUIndexOutOfRange(t *testing.T) {
+	c := checker(t, Config{Tasks: twoTasks(t), CPUs: 2, Horizon: vtime.AtMillis(10)})
+	feed(c,
+		ev(0, trace.JobRelease, "t1", 0),
+		evc(0, trace.JobBegin, "t1", 0, 5),
+		ev(2, trace.JobEnd, "t1", 0),
+	)
+	wantRule(t, c, "cpu-index")
+}

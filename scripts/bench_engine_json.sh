@@ -2,9 +2,10 @@
 # bench_engine_json.sh <bench.txt> <BENCH_engine.json>
 #
 # Extracts the engine-substrate benchmarks from `go test -bench .
-# -benchmem` output into a JSON artefact: the throughput pair
-# (BenchmarkEngineThroughput streaming / ...Retain) with events/sec,
-# B/op and allocs/op, the BenchmarkEngineScaling/tasks=N task-count
+# -benchmem` output into a JSON artefact: the throughput family
+# (BenchmarkEngineThroughput/cores=N streaming across the core-count
+# axis, plus ...Retain) with events/sec, B/op and allocs/op, the
+# BenchmarkEngineScaling/tasks=N task-count
 # series, and the derived sub-linearity ratio — per-event cost at the
 # largest size over the smallest, next to the task-count ratio it
 # should stay far below. Fails when either benchmark family is
@@ -36,7 +37,7 @@ function must(k) {
     return v[k]
 }
 BEGIN { printf "[\n"; sep = "" }
-/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineScaling\// {
+/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineThroughput\/cores=/ || /^BenchmarkEngineScaling\// {
     name = $1; sub(/-[0-9]+$/, "", name)
     delete v
     for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
@@ -50,6 +51,11 @@ BEGIN { printf "[\n"; sep = "" }
             if (tasks + 0 > maxtasks) { maxtasks = tasks; maxns = ns }
         }
         scaling = 1
+    } else if (name ~ /^BenchmarkEngineThroughput\/cores=/) {
+        cores = name; sub(/^BenchmarkEngineThroughput\/cores=/, "", cores)
+        printf "%s  {\"benchmark\":\"%s\",\"mode\":\"stream\",\"cores\":%s,\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+            sep, name, cores, must("ns/op"), val("trace_events"), must("events_per_sec"), val("B/op"), val("allocs/op")
+        seen["stream"] = 1
     } else {
         mode = (name ~ /Retain$/) ? "retain" : "stream"
         printf "%s  {\"benchmark\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \

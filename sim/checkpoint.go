@@ -156,8 +156,12 @@ func (s *System) coreConfig(set *taskset.Set, plan fault.Plan, pol engine.Policy
 }
 
 // engineConfig maps a checkpointable scenario onto the bare engine
-// (the SkipAdmission path).
-func (s *System) engineConfig(set *taskset.Set, plan fault.Plan, pol engine.Policy, sink trace.Sink) engine.Config {
+// (the skip-admission and multiprocessor paths).
+func (s *System) engineConfig(set *taskset.Set, plan fault.Plan, pol engine.Policy, sink trace.Sink) (engine.Config, error) {
+	partition, err := s.sc.Partition()
+	if err != nil {
+		return engine.Config{}, err
+	}
 	return engine.Config{
 		Tasks:         set,
 		Faults:        plan,
@@ -169,7 +173,9 @@ func (s *System) engineConfig(set *taskset.Set, plan fault.Plan, pol engine.Poli
 		ContextSwitch: s.sc.ContextSwitch.D(),
 		Collect:       engine.Stream,
 		Sink:          sink,
-	}
+		CPUs:          s.sc.CPUs,
+		Partition:     partition,
+	}, nil
 }
 
 // RunToCheckpoint simulates the scenario up to instant at (every event
@@ -196,9 +202,13 @@ func (s *System) RunToCheckpoint(at Duration) (*Checkpoint, error) {
 		sink = spill
 	}
 	cp := &Checkpoint{Version: CheckpointVersion, At: at, Scenario: s.sc}
-	if s.sc.SkipAdmission {
+	if s.sc.SkipAdmission || s.sc.CPUs > 1 {
 		acc := metrics.NewAccumulator()
-		eng, err := engine.New(s.engineConfig(set, plan, pol, trace.Tee(acc, sink)))
+		cfg, err := s.engineConfig(set, plan, pol, trace.Tee(acc, sink))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -263,9 +273,13 @@ func (s *System) runResumed() (*RunResult, error) {
 		sink = spill
 	}
 	res := &RunResult{Scenario: s.sc}
-	if s.sc.SkipAdmission {
+	if s.sc.SkipAdmission || s.sc.CPUs > 1 {
 		acc := metrics.NewAccumulator()
-		eng, err := engine.New(s.engineConfig(set, plan, pol, trace.Tee(acc, sink)))
+		cfg, err := s.engineConfig(set, plan, pol, trace.Tee(acc, sink))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(cfg)
 		if err != nil {
 			return nil, err
 		}

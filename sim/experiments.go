@@ -143,4 +143,13 @@ func init() {
 			}
 			return Result{Data: points, Text: RenderShardDifferential(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x13",
+		"X13 — multiprocessor differential sweep: global vs partitioned dispatch under the invariant oracle",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := MulticoreSweep(ctx, MulticoreSeed, MulticoreCount, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: RenderMulticore(points)}, nil
+		}))
 }

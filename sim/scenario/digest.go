@@ -16,7 +16,7 @@ import (
 // serving stale results for the old behaviour. Purely additive codec
 // fields whose zero value preserves old results do not need a bump:
 // old files still encode to the same canonical bytes.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // digestDomain separates scenario digests from any other SHA-256 use
 // and binds them to the schema version.

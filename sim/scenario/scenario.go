@@ -18,6 +18,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/taskset"
 	"repro/internal/vtime"
 
@@ -190,6 +191,29 @@ type Collect struct {
 	Mode string `json:"mode"`
 }
 
+// Placement modes accepted by the codec (multiprocessor scenarios).
+const (
+	// PlacementGlobal dispatches the M policy-best ready jobs onto
+	// the M cores from one shared queue; preempted jobs may resume on
+	// a different core (a migration). The default when cpus > 1.
+	PlacementGlobal = "global"
+	// PlacementPartitioned pins each task to one core via
+	// utilization-decreasing bin packing over the exact admission
+	// test; each core then schedules its subset independently and
+	// nothing ever migrates.
+	PlacementPartitioned = "partitioned"
+)
+
+// Partitioner heuristics accepted by the codec.
+const (
+	// PartitionFirstFit packs each task onto the lowest-indexed
+	// feasible core (the default).
+	PartitionFirstFit = "first-fit"
+	// PartitionBestFit packs each task onto the feasible core with
+	// the highest resulting utilization.
+	PartitionBestFit = "best-fit"
+)
+
 // Treatment names are validated through detect.ParseTreatment — the
 // single mapping behind the codec, sim.ParseTreatment and the verify
 // oracle — so the vocabulary cannot drift between them.
@@ -207,6 +231,20 @@ type Scenario struct {
 	// Policy names a registered scheduling policy ("fixed-priority",
 	// "edf", "best-effort", "red", "d-over"; empty = fixed-priority).
 	Policy string `json:"policy,omitempty"`
+	// CPUs is the number of identical processors (0 or 1 = the
+	// paper's uniprocessor platform). Multiprocessor runs support
+	// only treatment none, no servers, and the fixed-priority/edf
+	// policies, and bypass the uniprocessor admission control —
+	// global dispatch runs unconditionally; partitioned placement is
+	// admitted per core by the bin packing itself.
+	CPUs int `json:"cpus,omitempty"`
+	// Placement selects the multiprocessor dispatch mode ("global" or
+	// "partitioned"; empty = global). Only valid with cpus > 1.
+	Placement string `json:"placement,omitempty"`
+	// Partitioner names the bin-packing heuristic of partitioned
+	// placement ("first-fit" or "best-fit"; empty = first-fit). Only
+	// valid with placement "partitioned".
+	Partitioner string `json:"partitioner,omitempty"`
 	// Treatment selects the paper's fault response: none | detect |
 	// stop | equitable | system (empty = none).
 	Treatment string `json:"treatment,omitempty"`
@@ -276,6 +314,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: policy %q cannot combine with treatment %q: detectors presuppose fixed-priority analysis", sc.Policy, sc.Treatment)
 		}
 	}
+	if err := sc.validateMulticore(); err != nil {
+		return err
+	}
 	if _, err := sc.FaultPlan(); err != nil {
 		return err
 	}
@@ -296,6 +337,91 @@ func (sc *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// validateMulticore checks the cpus/placement/partitioner axis: the
+// codec's set-but-ignored strictness (placement without cpus, a
+// partitioner without partitioned placement, skip_admission on a
+// platform that has no admission control) plus the multiprocessor
+// feature restrictions.
+func (sc *Scenario) validateMulticore() error {
+	if sc.CPUs < 0 {
+		return fmt.Errorf("scenario: cpus must be non-negative, got %d", sc.CPUs)
+	}
+	if sc.CPUs <= 1 {
+		if sc.Placement != "" {
+			return fmt.Errorf("scenario: placement %q requires cpus > 1", sc.Placement)
+		}
+		if sc.Partitioner != "" {
+			return fmt.Errorf("scenario: partitioner %q requires placement %q", sc.Partitioner, PlacementPartitioned)
+		}
+		return nil
+	}
+	switch sc.Placement {
+	case "", PlacementGlobal:
+		if sc.Partitioner != "" {
+			return fmt.Errorf("scenario: partitioner %q requires placement %q", sc.Partitioner, PlacementPartitioned)
+		}
+	case PlacementPartitioned:
+		switch sc.Partitioner {
+		case "", PartitionFirstFit, PartitionBestFit:
+		default:
+			return fmt.Errorf("scenario: unknown partitioner %q (want %q|%q)", sc.Partitioner, PartitionFirstFit, PartitionBestFit)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown placement %q (want %q|%q)", sc.Placement, PlacementGlobal, PlacementPartitioned)
+	}
+	if !treatmentIsNone(sc.Treatment) {
+		return fmt.Errorf("scenario: treatment %q requires the uniprocessor platform (cpus > 1 supports treatment none only)", sc.Treatment)
+	}
+	if len(sc.Servers) > 0 {
+		return fmt.Errorf("scenario: servers require the uniprocessor platform")
+	}
+	switch sc.Policy {
+	case "", "fixed-priority", "edf":
+	default:
+		return fmt.Errorf("scenario: policy %q is uniprocessor-only (cpus > 1 supports fixed-priority and edf)", sc.Policy)
+	}
+	if sc.SkipAdmission {
+		return fmt.Errorf("scenario: skip_admission is uniprocessor-only (cpus > 1 already bypasses admission control)")
+	}
+	if sc.Partitioned() {
+		if _, err := sc.Partition(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitioned reports whether the scenario declares partitioned
+// multiprocessor placement.
+func (sc *Scenario) Partitioned() bool {
+	return sc.CPUs > 1 && sc.Placement == PlacementPartitioned
+}
+
+// Partition computes the task-index→core assignment of a partitioned
+// scenario by running the declared bin-packing heuristic (first-fit
+// decreasing unless "best-fit" is named) over the exact uniprocessor
+// admission test. It returns nil for global and uniprocessor
+// scenarios, and an error when the heuristic finds no feasible
+// packing — a partitioned scenario that cannot be placed is invalid.
+func (sc *Scenario) Partition() ([]int, error) {
+	if !sc.Partitioned() {
+		return nil, nil
+	}
+	set, err := sc.TaskSet()
+	if err != nil {
+		return nil, err
+	}
+	pack := sched.FirstFitDecreasing
+	if sc.Partitioner == PartitionBestFit {
+		pack = sched.BestFitDecreasing
+	}
+	assignment, err := pack(set, sc.CPUs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: partitioned placement: %w", err)
+	}
+	return assignment, nil
 }
 
 // TaskSet builds the validated task set of the scenario, periodic

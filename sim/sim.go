@@ -64,6 +64,15 @@ const (
 	CollectStream = scenario.CollectStream
 )
 
+// Multiprocessor placement modes and partitioning heuristics,
+// re-exported from sim/scenario.
+const (
+	PlacementGlobal      = scenario.PlacementGlobal
+	PlacementPartitioned = scenario.PlacementPartitioned
+	PartitionFirstFit    = scenario.PartitionFirstFit
+	PartitionBestFit     = scenario.PartitionBestFit
+)
+
 // Fault kinds, re-exported from sim/scenario.
 const (
 	FaultOverrunAt     = scenario.FaultOverrunAt
@@ -198,6 +207,29 @@ func WithSeed(seed uint64) Option {
 // valid with treatment none.
 func WithoutAdmission() Option {
 	return func(sc *Scenario) error { sc.SkipAdmission = true; return nil }
+}
+
+// WithCPUs sets the number of identical processors (0 or 1 = the
+// paper's uniprocessor platform). Multiprocessor runs support only
+// treatment none, no servers, and the fixed-priority/edf policies;
+// dispatch defaults to global — see WithPlacement.
+func WithCPUs(n int) Option {
+	return func(sc *Scenario) error { sc.CPUs = n; return nil }
+}
+
+// WithPlacement selects the multiprocessor dispatch mode: "global"
+// (one shared ready queue, jobs may migrate between cores) or
+// "partitioned" (each task pinned to a core by utilization-decreasing
+// bin packing, no migration). Requires WithCPUs(n) for n > 1.
+func WithPlacement(mode string) Option {
+	return func(sc *Scenario) error { sc.Placement = mode; return nil }
+}
+
+// WithPartitioner names the bin-packing heuristic of partitioned
+// placement: "first-fit" (default) or "best-fit". Requires
+// WithPlacement("partitioned").
+func WithPartitioner(name string) Option {
+	return func(sc *Scenario) error { sc.Partitioner = name; return nil }
 }
 
 // WithVerify enables the online invariant oracle: the run's trace is

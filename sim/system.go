@@ -193,7 +193,15 @@ func (s *System) Run() (*RunResult, error) {
 		sink = trace.Tee(s.progress, sink)
 	}
 	res := &RunResult{Scenario: sc}
-	if sc.SkipAdmission {
+	if sc.SkipAdmission || sc.CPUs > 1 {
+		// Bare-engine path: overload scenarios skip the uniprocessor
+		// admission control deliberately; multiprocessor runs have no
+		// uniprocessor admission test to apply (partitioned placement
+		// is admitted per core by the bin packing in sc.Partition).
+		partition, err := sc.Partition()
+		if err != nil {
+			return nil, err
+		}
 		var acc *metrics.Accumulator
 		if collect == engine.Stream {
 			acc = metrics.NewAccumulator()
@@ -222,6 +230,8 @@ func (s *System) Run() (*RunResult, error) {
 			ContextSwitch: sc.ContextSwitch.D(),
 			Collect:       collect,
 			Sink:          sink,
+			CPUs:          sc.CPUs,
+			Partition:     partition,
 		})
 		if err != nil {
 			return nil, err
