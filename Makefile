@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail in bench-json.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 x13 fuzz-smoke serve-smoke ci
+.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 x13 x14 fuzz-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench-gate:
 	@for i in 1 2 3; do \
 		set -o pipefail; \
 		if $(GO) test -bench 'BenchmarkEngineThroughput' -benchtime 100x -count 5 -benchmem -run '^$$' . | tee bench_gate.txt \
-			&& REQUIRE_SCALING=0 scripts/bench_engine_json.sh bench_gate.txt BENCH_gate.json \
+			&& REQUIRE_SCALING=0 REQUIRE_FASTFORWARD=0 scripts/bench_engine_json.sh bench_gate.txt BENCH_gate.json \
 			&& scripts/bench_gate.sh BENCH_gate.json; then \
 			exit 0; \
 		elif [ $$i -lt 3 ]; then \
@@ -90,6 +90,14 @@ x12:
 x13:
 	$(GO) run ./cmd/rtexp -exp x13 > /dev/null
 
+# The X14 fast-forward differential: 48 fixed-seed fast-forward-
+# eligible scenarios, each run full (oracle armed, retained) and
+# fast-forwarded; any count/summary divergence or out-of-bound
+# percentile fails, as does a sweep where no scenario engaged the
+# jump.
+x14:
+	$(GO) run ./cmd/rtexp -exp x14 > /dev/null
+
 # End-to-end smoke of the serving stack: boot rtserved, prove the
 # cache contract (miss/hit, byte-equality with `rtrun -scenario`),
 # hold a pinned p99 SLO on a cached burst, and saturate a tiny
@@ -104,4 +112,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCheckpoint -fuzztime 10s ./internal/verify/gen
 
-ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 x13 serve-smoke
+ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 x13 x14 serve-smoke

@@ -616,6 +616,66 @@ func TestStreamAllocsPerJobConstant(t *testing.T) {
 	}
 }
 
+// benchFastForward runs the eligible Table 2 variant (the figure
+// system under treatment none — hyperperiod 3000 ms) to the given
+// horizon in streaming collection, with or without fast-forward. The
+// full/ff pair per horizon is the tentpole's acceptance surface: the
+// ff run must do O(transient + one cycle + tail) work regardless of
+// the horizon, so its ns/op stays flat while the full run's grows
+// linearly. CI distils the pairs into BENCH_engine.json as
+// fastforward_speedup rows.
+func benchFastForward(b *testing.B, horizon vtime.Duration, ff bool) {
+	var jobs int
+	var skipped int64
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(core.Config{
+			Tasks:       experiments.FigureSet(),
+			Treatment:   detect.NoDetection,
+			Horizon:     horizon,
+			Collect:     engine.Stream,
+			FastForward: ff,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = res.Report.TotalReleased()
+		skipped = res.SkippedCycles
+	}
+	if ff && skipped == 0 {
+		b.Fatal("fast-forward never engaged on the benchmark system")
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(jobs), "jobs")
+	b.ReportMetric(float64(skipped), "skipped_cycles")
+}
+
+// BenchmarkEngineFastForward prices the steady-state jump across the
+// horizon axis: full (event-by-event) vs ff (fast-forward) at 10
+// minutes, 1 hour and 10 hours of virtual time on the same system.
+func BenchmarkEngineFastForward(b *testing.B) {
+	for _, h := range []struct {
+		name    string
+		horizon vtime.Duration
+	}{
+		{"10m", 600 * vtime.Second},
+		{"1h", 3600 * vtime.Second},
+		{"10h", 36000 * vtime.Second},
+	} {
+		for _, m := range []struct {
+			name string
+			ff   bool
+		}{{"full", false}, {"ff", true}} {
+			b.Run(fmt.Sprintf("horizon=%s/mode=%s", h.name, m.name), func(b *testing.B) {
+				benchFastForward(b, h.horizon, m.ff)
+			})
+		}
+	}
+}
+
 // BenchmarkAperiodicServer (X7, §7 outlook) runs the polling-server
 // scenario: a 3×20 ms burst through a 10 ms / 50 ms server beside a
 // hard periodic task; the hard task must never miss.

@@ -34,6 +34,19 @@
 //
 //	rtrun -tasks system.tasks -cpus 4 -placement partitioned -check
 //
+// -fast-forward arms hyperperiod cycle detection on a streaming run:
+// the engine fingerprints the scheduling state at every hyperperiod
+// boundary and, once two consecutive boundaries match, extrapolates
+// the remaining whole cycles analytically — a 10-hour horizon costs
+// milliseconds once the transient settles. Counts and summaries stay
+// exact; percentiles keep the streaming sketch's rank-error bound. It
+// needs streaming collection and treatment none (no faults, servers
+// or stop jitter) and conflicts with -check, -trace-out and
+// -checkpoint, which all need the full event stream. The scenario
+// file equivalent is "fast_forward": true:
+//
+//	rtrun -tasks system.tasks -horizon 36000000 -stream -fast-forward
+//
 // -check arms the online invariant oracle: the run's events are
 // validated against the scheduling axioms (see internal/verify) as
 // they are recorded, in either collection mode, and the command exits
@@ -87,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpus       = fs.Int("cpus", 0, "number of identical processors (0 or 1 = the paper's uniprocessor; >1 needs treatment none)")
 		placement  = fs.String("placement", "", "multiprocessor dispatch: global|partitioned (needs -cpus > 1)")
 		partition  = fs.String("partitioner", "", "partitioned bin-packing heuristic: first-fit|best-fit (needs -placement partitioned)")
+		fastFwd    = fs.Bool("fast-forward", false, "extrapolate steady-state hyperperiod cycles analytically (needs streaming collection and treatment none)")
 		ckptPath   = fs.String("checkpoint", "", "stop at -checkpoint-at and write a resumable checkpoint JSON to this file")
 		ckptAt     = fs.Int64("checkpoint-at", -1, "checkpoint instant in ms from time zero (requires -checkpoint)")
 		resumePath = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint (replaces -tasks/-scenario)")
@@ -114,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			switch f.Name {
 			case "tasks", "scenario", "treatment", "horizon", "fault", "resolution",
 				"stream", "check", "checkpoint", "checkpoint-at", "o",
-				"cpus", "placement", "partitioner":
+				"cpus", "placement", "partitioner", "fast-forward":
 				conflict = f.Name
 			}
 		})
@@ -186,6 +200,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	if *fastFwd {
+		// Every consumer of the full event stream conflicts with the
+		// analytic jump: extrapolated cycles produce no events for the
+		// oracle, spill or snapshot to see.
+		conflict, why := "", ""
+		switch {
+		case *check:
+			conflict, why = "-check", "the oracle needs the full event stream"
+		case *traceOut != "":
+			conflict, why = "-trace-out", "extrapolated cycles produce no events to spill"
+		case *ckptPath != "":
+			conflict, why = "-checkpoint", "the jump skips the boundary instants a snapshot would capture"
+		}
+		if conflict != "" {
+			fmt.Fprintf(stderr, "rtrun: -fast-forward conflicts with %s (%s)\n", conflict, why)
+			return 2
+		}
+		// Composes with both front doors like -check; the eligibility
+		// grammar (streaming collection, treatment none, no faults)
+		// re-validates here.
+		if err := sys.SetFastForward(true); err != nil {
+			return fail(err)
+		}
+	}
 	if *check {
 		// -check composes with both front doors: it arms the oracle on
 		// top of whatever the flags or the scenario file declared
@@ -252,6 +290,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *summary {
+		if res.SkippedCycles > 0 {
+			fmt.Fprintf(stderr, "fast-forwarded %d hyperperiod cycles\n", res.SkippedCycles)
+		}
 		fmt.Fprint(stderr, res.Summary())
 	}
 	return 0

@@ -273,3 +273,59 @@ func TestCheckFlag(t *testing.T) {
 		t.Fatalf("streaming -check run exited %d: %s", code, stderr.String())
 	}
 }
+
+// TestFastForwardFlag: -fast-forward produces the identical summary to
+// the full streamed run (counts and response moments are exact across
+// the analytic jump) and reports the cycles it skipped.
+func TestFastForwardFlag(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	base := []string{"-tasks", tasks, "-horizon", "60000", "-stream"}
+
+	var fullOut, fullErr bytes.Buffer
+	if code := run(base, &fullOut, &fullErr); code != 0 {
+		t.Fatalf("full run exited %d: %s", code, fullErr.String())
+	}
+	var ffOut, ffErr bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-fast-forward"), &ffOut, &ffErr); code != 0 {
+		t.Fatalf("fast-forward run exited %d: %s", code, ffErr.String())
+	}
+	if !strings.Contains(ffErr.String(), "fast-forwarded") {
+		t.Errorf("summary must report the skipped cycles: %s", ffErr.String())
+	}
+	// Strip the fast-forward banner; the per-task summary must match
+	// the full run byte for byte.
+	summary := ffErr.String()
+	if i := strings.Index(summary, "\n"); i >= 0 && strings.HasPrefix(summary, "fast-forwarded") {
+		summary = summary[i+1:]
+	}
+	if summary != fullErr.String() {
+		t.Errorf("fast-forward summary differs:\n--- ff ---\n%s--- full ---\n%s", summary, fullErr.String())
+	}
+}
+
+// TestFastForwardFlagConflicts: -fast-forward needs streaming
+// collection and refuses every full-event-stream consumer.
+func TestFastForwardFlagConflicts(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	for _, tc := range []struct {
+		args []string
+		code int
+		want string
+	}{
+		{[]string{"-tasks", tasks, "-stream", "-fast-forward", "-check"}, 2, "-check"},
+		{[]string{"-tasks", tasks, "-stream", "-fast-forward", "-trace-out", "x.log"}, 2, "-trace-out"},
+		{[]string{"-tasks", tasks, "-stream", "-fast-forward", "-checkpoint", "x.ckpt", "-checkpoint-at", "100"}, 2, "-checkpoint"},
+		{[]string{"-resume", "x.ckpt", "-fast-forward"}, 2, "fast-forward"},
+		{[]string{"-tasks", tasks, "-fast-forward"}, 1, "fast_forward"},
+		{[]string{"-tasks", tasks, "-stream", "-treatment", "stop", "-fast-forward"}, 1, "fast_forward"},
+		{[]string{"-tasks", tasks, "-stream", "-fault", "tau1:5:40", "-fast-forward"}, 1, "fast_forward"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.code {
+			t.Errorf("%v exited %d, want %d: %s", tc.args, code, tc.code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: error must mention %q: %s", tc.args, tc.want, stderr.String())
+		}
+	}
+}

@@ -195,6 +195,32 @@
 // registry entry (rtexp -exp x12, run by make ci) proves
 // process-sharded ≡ serial across a 24-scenario sweep.
 //
+// # Fast-forward
+//
+// Strictly periodic task sets revisit the same scheduling state every
+// hyperperiod once transients drain, so long horizons mostly
+// re-simulate one cycle. With fast-forward (sim.WithFastForward, the
+// scenario "fast_forward" field, rtrun -fast-forward) the engine
+// fingerprints its clock-relative state at each hyperperiod boundary
+// (FNV-1a over the event heap, pending/running jobs, release
+// positions and RNG); when two consecutive boundaries match it jumps
+// the remaining whole cycles analytically — counts and response
+// moments scale linearly, the quantile sketch absorbs the repeated
+// cycle via metrics.ScaleMerge (total rank error at most 2ε however
+// many cycles are skipped), and clock/heap/release state shift by a
+// multiple of the hyperperiod — then simulates the tail. That turns
+// O(horizon) runs into O(transient + one cycle): ~931× at a 10-hour
+// horizon (BenchmarkEngineFastForward, with derived
+// fastforward_speedup rows in BENCH_engine.json). Eligibility is
+// strict because the jump is exact only under deterministic periodic
+// recurrence — streaming collection, treatment "none", no faults,
+// jitter, servers, oracle, trace spill or checkpoints — and the x14
+// registry entry (rtexp -exp x14, run by make ci) pins the
+// differential: 48 seeded eligible scenarios run full (oracle armed,
+// retained) and fast-forwarded, with exact agreement required on
+// every count and moment and percentiles inside the widened ±2εn
+// rank window.
+//
 // # Serving
 //
 // cmd/rtserved (over internal/serve) exposes the simulator as a

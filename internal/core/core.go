@@ -59,6 +59,14 @@ type Config struct {
 	// Stream (spill-to-disk via trace.NewWriterSink; the caller
 	// flushes after Run).
 	TraceSink trace.Sink
+	// FastForward enables the engine's steady-state cycle detection:
+	// once two consecutive hyperperiod boundaries fingerprint equal,
+	// the remaining whole cycles are extrapolated analytically and only
+	// the tail is simulated (engine/fastforward.go). Requires Stream
+	// collection and NoDetection treatment, and excludes faults, stop
+	// jitter, TraceSink and Verify — everything that would either break
+	// periodicity or observe the event hole the jump leaves.
+	FastForward bool
 	// Verify enables the online invariant oracle (package verify):
 	// every trace event is checked against the scheduling axioms as
 	// it is recorded — in Retain and Stream collection alike — and
@@ -86,6 +94,10 @@ type Result struct {
 	Detections int64
 	// Switches counts dispatch switches (overhead sweeps).
 	Switches int64
+	// SkippedCycles counts the hyperperiod cycles fast-forward
+	// extrapolated instead of simulating (zero unless
+	// Config.FastForward engaged).
+	SkippedCycles int64
 }
 
 // System is a configured, not-yet-run reproduction instance.
@@ -110,6 +122,11 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.Treatment != detect.NoDetection {
 		return nil, fmt.Errorf("core: policy %q cannot combine with treatment %v: detectors presuppose fixed-priority analysis", cfg.Policy.Name(), cfg.Treatment)
 	}
+	if cfg.FastForward {
+		if err := fastForwardable(cfg); err != nil {
+			return nil, err
+		}
+	}
 	adm, err := analysis.Feasible(cfg.Tasks)
 	if err != nil {
 		return nil, err
@@ -125,6 +142,34 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{cfg: cfg, sup: sup}, nil
+}
+
+// fastForwardable rejects configurations the steady-state fast-forward
+// cannot serve: detector treatments hold re-arming timers that poison
+// every hyperperiod boundary, Retain collection retains what the jump
+// skips, faults and stop jitter break periodicity, and TraceSink /
+// Verify observe the event stream directly — the extrapolated cycles
+// emit no events, so either would see a hole.
+func fastForwardable(cfg Config) error {
+	if cfg.Treatment != detect.NoDetection {
+		return fmt.Errorf("core: fast-forward requires treatment %v (detector timers re-arm every period, suppressing cycle detection), have %v", detect.NoDetection, cfg.Treatment)
+	}
+	if cfg.Collect != engine.Stream {
+		return fmt.Errorf("core: fast-forward requires Stream collection")
+	}
+	if len(cfg.Faults) > 0 {
+		return fmt.Errorf("core: fast-forward cannot combine with a fault plan")
+	}
+	if cfg.StopJitterMax > 0 {
+		return fmt.Errorf("core: fast-forward cannot combine with stop jitter")
+	}
+	if cfg.TraceSink != nil {
+		return fmt.Errorf("core: fast-forward cannot combine with a trace sink (extrapolated cycles emit no events)")
+	}
+	if cfg.Verify {
+		return fmt.Errorf("core: fast-forward cannot combine with the online oracle (extrapolated cycles emit no events to check)")
+	}
+	return nil
 }
 
 // policyName resolves the configured policy's registry name (nil
@@ -190,6 +235,12 @@ func (s *System) prepare(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		acc = metrics.NewAccumulator()
 		sink = trace.Tee(acc, sink)
 	}
+	var obs engine.CycleObserver
+	if s.cfg.FastForward {
+		// The accumulator doubles as the cycle observer so the metrics
+		// stay exact across the analytic jump.
+		obs = acc
+	}
 	// Oracle arming for admitted systems; the bare-engine twin (no
 	// supervisor, hence no detector offsets) lives in sim.System.Run's
 	// SkipAdmission branch — change both together.
@@ -231,6 +282,8 @@ func (s *System) prepare(setup func(e *engine.Engine, sup *detect.Supervisor)) (
 		ContextSwitch: s.cfg.ContextSwitch,
 		Collect:       s.cfg.Collect,
 		Sink:          sink,
+		FastForward:   s.cfg.FastForward,
+		Observer:      obs,
 		Hooks:         s.sup.Hooks(),
 	})
 	if err != nil {
@@ -257,12 +310,13 @@ func (s *System) finish(p *prepared, log *trace.Log) (*Result, error) {
 		rep = metrics.Analyze(log)
 	}
 	return &Result{
-		Log:        log,
-		Report:     rep,
-		Admission:  s.Admission(),
-		Allowance:  s.sup.Table(),
-		Detections: s.sup.Detections(),
-		Switches:   p.eng.Switches(),
+		Log:           log,
+		Report:        rep,
+		Admission:     s.Admission(),
+		Allowance:     s.sup.Table(),
+		Detections:    s.sup.Detections(),
+		Switches:      p.eng.Switches(),
+		SkippedCycles: p.eng.SkippedCycles(),
 	}, nil
 }
 
@@ -291,6 +345,9 @@ func (s *System) checkpointable() error {
 	}
 	if s.cfg.Verify {
 		return fmt.Errorf("core: checkpointing cannot combine with the online oracle; replay the concatenated trace through verify instead")
+	}
+	if s.cfg.FastForward {
+		return fmt.Errorf("core: checkpointing cannot combine with fast-forward (the jump skips the boundary instants a snapshot would capture)")
 	}
 	return nil
 }

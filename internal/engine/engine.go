@@ -113,6 +113,20 @@ type Config struct {
 	// under Stream. Typical streaming sinks: metrics.Accumulator,
 	// trace.WriterSink, or a trace.Tee of both.
 	Sink trace.Sink
+	// FastForward enables steady-state cycle detection: Run
+	// fingerprints the state at every hyperperiod boundary and, once
+	// two consecutive boundaries match, extrapolates the remaining
+	// whole cycles analytically (see fastforward.go). Requires Stream
+	// collection, an empty fault plan, no stop jitter and a computable
+	// hyperperiod; New rejects ineligible configurations. Note the
+	// extrapolated cycles emit no trace events — a Sink that records
+	// events (rather than a CycleObserver-aware accumulator) would see
+	// a hole, so combine FastForward only with Observer-style sinks.
+	FastForward bool
+	// Observer, with FastForward, receives hyperperiod-boundary marks
+	// and the cycle extrapolation so streaming metrics stay exact
+	// across the jump. Typically the same metrics.Accumulator as Sink.
+	Observer CycleObserver
 	// Hooks observe the run (all optional).
 	Hooks Hooks
 }
@@ -419,6 +433,11 @@ type Engine struct {
 	arena []Job
 
 	switches int64 // dispatch switches, for the overhead sweep
+
+	// ff is the fast-forward state (nil unless Config.FastForward);
+	// observer receives its cycle callbacks.
+	ff       *ffState
+	observer CycleObserver
 }
 
 // New validates the configuration and prepares a run.
@@ -459,9 +478,28 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	var ff *ffState
+	if cfg.FastForward {
+		if cfg.Collect != Stream {
+			return nil, fmt.Errorf("engine: FastForward requires Stream collection")
+		}
+		if len(cfg.Faults) > 0 {
+			return nil, fmt.Errorf("engine: FastForward cannot combine with a fault plan (fault arrivals break hyperperiod periodicity)")
+		}
+		if cfg.StopJitterMax > 0 {
+			return nil, fmt.Errorf("engine: FastForward cannot combine with stop jitter (random draws break hyperperiod periodicity)")
+		}
+		h, err := cfg.Tasks.Hyperperiod()
+		if err != nil {
+			return nil, fmt.Errorf("engine: FastForward needs a computable hyperperiod: %w", err)
+		}
+		ff = &ffState{h: h}
+	}
 	e := &Engine{
 		cfg:         cfg,
 		log:         cfg.Log,
+		ff:          ff,
+		observer:    cfg.Observer,
 		sink:        cfg.Sink,
 		stream:      cfg.Collect == Stream,
 		policy:      cfg.Policy,
@@ -715,6 +753,12 @@ func (e *Engine) setCompletion(c int, at vtime.Time) {
 // After a RunUntil (or a Restore), Run picks up from the current
 // instant and completes the remaining horizon.
 func (e *Engine) Run() *trace.Log {
+	if e.ff != nil && !e.ff.abandoned {
+		// Fast-forward drives the run hyperperiod to hyperperiod and,
+		// on detecting a repeated boundary state, jumps the remaining
+		// whole cycles; the ordinary loop below finishes the tail.
+		e.runFastForward()
+	}
 	for len(e.heap) > 0 && e.heap[0].at <= e.cfg.End {
 		ev, _ := e.pop()
 		e.advance(ev.at)
@@ -1292,6 +1336,11 @@ func (e *Engine) AddTask(t taskset.Task, m fault.Model, now vtime.Time) error {
 		m = e.cfg.Faults.For(t.Name)
 	}
 	t.Offset += vtime.Duration(now)
+	if e.ff != nil {
+		// The hyperperiod and per-cycle release counts were computed
+		// from the static set; a dynamic task invalidates both.
+		e.ff.abandoned = true
+	}
 	e.addTaskState(t, m)
 	e.Record(trace.Event{At: now, Kind: trace.TaskAdded, Task: t.Name, Job: -1})
 	if e.cfg.Hooks.OnTaskAdded != nil {
@@ -1308,5 +1357,8 @@ func (e *Engine) RemoveTask(name string, now vtime.Time) {
 		return
 	}
 	ts.removed = true
+	if e.ff != nil {
+		e.ff.abandoned = true
+	}
 	e.Record(trace.Event{At: now, Kind: trace.TaskRemoved, Task: name, Job: -1})
 }

@@ -448,8 +448,8 @@ func TestSimulationMatchesAnalysis(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hyper, ok := s.Hyperperiod()
-		if !ok || hyper > ms(60_000) {
+		hyper, err := s.Hyperperiod()
+		if err != nil || hyper > ms(60_000) {
 			continue
 		}
 		feasible := true

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/vtime"
+)
+
+// Steady-state fast-forward. A periodic task system with no faults, no
+// stop jitter and no external timers is a deterministic finite-state
+// machine whose inputs repeat with the hyperperiod H = lcm(periods):
+// once the scheduling-relevant state at one hyperperiod boundary
+// matches the state one hyperperiod earlier, every subsequent cycle
+// replays the same trace shifted by H. The engine exploits this in
+// Run: at each boundary it fingerprints the clock-relative state, and
+// when two consecutive boundaries match it jumps the remaining K whole
+// cycles analytically — shifting the event heap and pending jobs by
+// K·H, scaling the dispatch-switch counter, and handing the metrics
+// extrapolation to Config.Observer — then simulates only the tail.
+// Long horizons thus cost O(transient + one cycle + tail) instead of
+// O(horizon).
+//
+// The fingerprint is a 64-bit FNV-1a hash over canonical state:
+// event-heap entries in (at, class, seq) order with instants taken
+// relative to the boundary and deadline events resolved to
+// (task, Q−nextQ); every pending job's relative fields; the running
+// task per core; the stop-jitter RNG; and any fault-model state. Heap
+// and ready-queue array layout, absolute sequence numbers and slot
+// indices are excluded — dispatch depends only on the ordered multiset,
+// which the hash covers. A hash collision is astronomically unlikely
+// and at worst extrapolates a cycle that was about to repeat anyway in
+// every field the fingerprint covers.
+//
+// Boundaries with an external timer in flight (or a callback event in
+// the heap) are skipped and the previous fingerprint discarded — a
+// one-shot timer merely delays detection, a re-arming timer suppresses
+// it permanently. Dynamic admission (AddTask/RemoveTask) abandons
+// fast-forward for the rest of the run: it changes the task system the
+// hyperperiod was computed from.
+
+// CycleObserver receives hyperperiod-boundary callbacks from a
+// fast-forwarding engine so streaming metrics stay exact across the
+// analytic jump. metrics.Accumulator implements it.
+type CycleObserver interface {
+	// CycleMark fires at each fingerprinted hyperperiod boundary,
+	// before any boundary-instant event is processed.
+	CycleMark()
+	// ExtrapolateCycles fires once when the engine jumps k whole
+	// cycles of length h; jobsPerCycle gives each task's releases per
+	// cycle (h / period), for re-keying live jobs past the jump.
+	ExtrapolateCycles(k int64, h vtime.Duration, jobsPerCycle map[string]int64)
+}
+
+// ffState is the fast-forward bookkeeping of one run.
+type ffState struct {
+	h            vtime.Duration // hyperperiod
+	prev         uint64         // fingerprint at the previous boundary
+	havePrev     bool
+	prevSwitches int64 // dispatch-switch counter at the previous boundary
+	abandoned    bool  // task system changed mid-run
+	skipped      int64 // cycles jumped (0 until detection)
+}
+
+// SkippedCycles returns the number of whole hyperperiod cycles the run
+// fast-forwarded over analytically (zero when fast-forward is off,
+// was abandoned, or never detected a steady state).
+func (e *Engine) SkippedCycles() int64 {
+	if e.ff != nil {
+		return e.ff.skipped
+	}
+	return 0
+}
+
+// Hyperperiod returns the task system's hyperperiod when fast-forward
+// is armed, zero otherwise.
+func (e *Engine) Hyperperiod() vtime.Duration {
+	if e.ff != nil {
+		return e.ff.h
+	}
+	return 0
+}
+
+// runFastForward drives the run boundary to boundary until it either
+// detects a repeating cycle (jumping the remaining whole cycles) or
+// runs out of boundaries; the caller's ordinary event loop finishes
+// the tail either way.
+func (e *Engine) runFastForward() {
+	f := e.ff
+	step := int64(f.h)
+	boundary := vtime.Time((int64(e.now)/step + 1) * step)
+	for boundary < e.cfg.End {
+		// Drain strictly below the boundary, then fingerprint with the
+		// boundary-instant events still in the heap (at relative 0):
+		// the state "just before processing instant n·H" is what must
+		// recur for the cycle proof.
+		e.runTo(boundary)
+		if f.abandoned {
+			return
+		}
+		fp, ok := e.fingerprint()
+		if !ok {
+			// External timer in flight: this boundary proves nothing.
+			f.havePrev = false
+			boundary = boundary.Add(f.h)
+			continue
+		}
+		if f.havePrev && fp == f.prev {
+			if k := int64(e.cfg.End.Sub(boundary)) / step; k > 0 {
+				e.jumpCycles(k, f.h, e.switches-f.prevSwitches)
+				f.skipped = k
+			}
+			return
+		}
+		f.prev, f.havePrev = fp, true
+		f.prevSwitches = e.switches
+		if e.observer != nil {
+			e.observer.CycleMark()
+		}
+		boundary = boundary.Add(f.h)
+	}
+}
+
+// runTo processes every event strictly before limit and advances the
+// clock to it (events at limit itself stay queued).
+func (e *Engine) runTo(limit vtime.Time) {
+	for len(e.heap) > 0 && e.heap[0].at < limit {
+		ev, _ := e.pop()
+		e.advance(ev.at)
+		e.step(ev)
+	}
+	e.advance(limit)
+}
+
+// jumpCycles advances the engine k whole cycles of length h without
+// simulating them: the event heap and every pending job shift
+// uniformly by k·h (preserving heap order and queue order), release
+// counters and job indices advance by k releases-per-cycle, the
+// dispatch-switch counter gains k times the measured per-cycle
+// switches, and the observer extrapolates its metrics. The RNG and
+// fault models are untouched — nothing eligible for fast-forward
+// draws from them.
+func (e *Engine) jumpCycles(k int64, h vtime.Duration, cycleSwitches int64) {
+	shift := vtime.Duration(k) * h
+	for i := range e.heap {
+		e.heap[i].at = e.heap[i].at.Add(shift)
+	}
+	jpc := make(map[string]int64, len(e.tasks))
+	for _, ts := range e.tasks {
+		n := int64(h) / int64(ts.task.Period)
+		jpc[ts.task.Name] = n
+		ts.nextQ += k * n
+		for _, j := range ts.pending[ts.phead:] {
+			j.Q += k * n
+			j.Release = j.Release.Add(shift)
+			j.AbsDeadline = j.AbsDeadline.Add(shift)
+		}
+	}
+	e.now = e.now.Add(shift)
+	e.switches += k * cycleSwitches
+	if e.observer != nil {
+		e.observer.ExtrapolateCycles(k, h, jpc)
+	}
+}
+
+// fnv64 is an incremental FNV-1a hash over the canonical state walk.
+type fnv64 uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (f *fnv64) u64(v uint64) {
+	h := uint64(*f)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	*f = fnv64(h)
+}
+
+func (f *fnv64) i64(v int64) { f.u64(uint64(v)) }
+
+func (f *fnv64) bit(v bool) {
+	if v {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+// fingerprint hashes the scheduling-relevant state relative to the
+// current instant. It reports ok=false when an external timer is in
+// flight — callback closures cannot be compared, so such boundaries
+// prove nothing. The walk mirrors Snapshot's field coverage, hashed
+// instead of encoded.
+func (e *Engine) fingerprint() (uint64, bool) {
+	if e.liveTimers() > 0 {
+		return 0, false
+	}
+	f := fnv64(fnvOffset64)
+
+	// Event heap, canonically ordered. The array layout is heap-shape
+	// dependent; the pop order (at, class, seq) is the state.
+	ord := make([]int, len(e.heap))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return e.less(ord[a], ord[b]) })
+	f.i64(int64(len(e.heap)))
+	for _, i := range ord {
+		ev := &e.heap[i]
+		if ev.kind == evCallback {
+			return 0, false
+		}
+		f.i64(int64(ev.at.Sub(e.now)))
+		f.u64(uint64(ev.class))
+		f.u64(uint64(ev.kind))
+		switch ev.kind {
+		case evDeadline:
+			// Slot numbers are allocation history; the identity is
+			// (task, cycle-relative job index).
+			j := e.jobSlots[ev.arg]
+			f.i64(int64(j.task.id))
+			f.i64(j.Q - j.task.nextQ)
+		default:
+			// evRelease: task id. evCompletion: core. Both stable.
+			f.i64(int64(ev.arg))
+		}
+	}
+
+	// Tasks in id order: pending jobs with clock-relative instants and
+	// release-counter-relative indices, plus the fault-model state (a
+	// formality — fast-forward refuses fault plans).
+	for _, ts := range e.tasks {
+		f.bit(ts.removed)
+		f.i64(int64(ts.live()))
+		for _, j := range ts.pending[ts.phead:] {
+			f.i64(j.Q - ts.nextQ)
+			f.i64(int64(j.Release.Sub(e.now)))
+			f.i64(int64(j.AbsDeadline.Sub(e.now)))
+			f.i64(int64(j.Actual))
+			f.i64(int64(j.Executed))
+			f.i64(int64(j.overhead))
+			f.i64(int64(j.workLimit))
+			f.i64(int64(j.cpu))
+			f.bit(j.limited)
+			f.bit(j.begun)
+			f.bit(j.missed)
+		}
+		for _, w := range fault.ModelState(ts.model) {
+			f.u64(w)
+		}
+	}
+
+	// Per-core running task (the job itself is its task's head, already
+	// hashed) and the stop-jitter RNG position.
+	for _, j := range e.running {
+		if j == nil {
+			f.i64(-1)
+		} else {
+			f.i64(int64(j.task.id))
+		}
+	}
+	f.u64(e.rng.State())
+	return uint64(f), true
+}

@@ -25,6 +25,24 @@ type Accumulator struct {
 	tasks  map[string]*TaskSummary
 	sketch map[string]*Sketch
 	live   map[jobKey]*liveJob
+
+	// Cycle tracking backs the engine's steady-state fast-forward
+	// (engine.CycleObserver): CycleMark snapshots per-task counters at
+	// a hyperperiod boundary and resets the per-cycle sketches;
+	// ExtrapolateCycles folds K identical cycles in analytically. Both
+	// maps stay nil until the first CycleMark, so plain runs pay
+	// nothing.
+	cycleBase   map[string]cycleBase
+	cycleSketch map[string]*Sketch
+}
+
+// cycleBase is a task's counter snapshot at the last CycleMark; the
+// delta to the current counters is exactly one hyperperiod cycle when
+// the engine detects a fingerprint match at the next boundary.
+type cycleBase struct {
+	released, finished, stopped, missed, failed, detected int
+	respSum                                               vtime.Duration
+	respN                                                 int64
 }
 
 type jobKey struct {
@@ -147,8 +165,87 @@ func (a *Accumulator) terminate(k jobKey, s *TaskSummary, lj *liveJob, at vtime.
 			a.sketch[k.task] = sk
 		}
 		sk.Add(resp)
+		if a.cycleSketch != nil {
+			cs, ok := a.cycleSketch[k.task]
+			if !ok {
+				cs = NewSketch(a.eps)
+				a.cycleSketch[k.task] = cs
+			}
+			cs.Add(resp)
+		}
 	}
 	delete(a.live, k)
+}
+
+// CycleMark records a hyperperiod boundary (engine.CycleObserver): it
+// snapshots every task's counters and starts a fresh per-cycle sketch,
+// so that if the engine proves the next boundary revisits this exact
+// state, the counter deltas and cycle sketches describe one full cycle.
+func (a *Accumulator) CycleMark() {
+	if a.cycleBase == nil {
+		a.cycleBase = map[string]cycleBase{}
+		a.cycleSketch = map[string]*Sketch{}
+	}
+	for name, s := range a.tasks {
+		a.cycleBase[name] = cycleBase{
+			released: s.Released, finished: s.Finished, stopped: s.Stopped,
+			missed: s.Missed, failed: s.Failed, detected: s.Detected,
+			respSum: s.respSum, respN: s.respN,
+		}
+	}
+	for name := range a.cycleSketch {
+		delete(a.cycleSketch, name)
+	}
+}
+
+// ExtrapolateCycles folds k additional cycles of length h into the
+// summaries (engine.CycleObserver), where one cycle is the delta since
+// the last CycleMark: counters and response-moment sums scale
+// linearly (so Released/Finished/…/MeanResponse stay exact — the
+// simulated cycle already contributed the Min/Max extremes), the
+// per-cycle sketch is scale-merged k-fold (ε-preserving, see
+// Sketch.ScaleMerge) and folded into the main sketch with a single
+// Merge — so percentile bounds widen by exactly one additive merge
+// (2ε total), independent of k. Live jobs — the backlog crossing the
+// boundary — are re-keyed into the post-jump cycle: job index
+// advanced by k·jobsPerCycle of their task, release shifted by k·h,
+// matching the engine's own state jump.
+func (a *Accumulator) ExtrapolateCycles(k int64, h vtime.Duration, jobsPerCycle map[string]int64) {
+	if k <= 0 || a.cycleBase == nil {
+		return
+	}
+	ki := int(k)
+	for name, s := range a.tasks {
+		b := a.cycleBase[name]
+		s.Released += ki * (s.Released - b.released)
+		s.Finished += ki * (s.Finished - b.finished)
+		s.Stopped += ki * (s.Stopped - b.stopped)
+		s.Missed += ki * (s.Missed - b.missed)
+		s.Failed += ki * (s.Failed - b.failed)
+		s.Detected += ki * (s.Detected - b.detected)
+		s.respSum += vtime.Duration(k) * (s.respSum - b.respSum)
+		s.respN += k * (s.respN - b.respN)
+	}
+	for name, cs := range a.cycleSketch {
+		if cs.N() == 0 {
+			continue
+		}
+		cs.ScaleMerge(k)
+		main, ok := a.sketch[name]
+		if !ok {
+			main = NewSketch(a.eps)
+			a.sketch[name] = main
+		}
+		main.Merge(cs)
+		delete(a.cycleSketch, name)
+	}
+	shift := vtime.Duration(k) * h
+	remapped := make(map[jobKey]*liveJob, len(a.live))
+	for key, lj := range a.live {
+		lj.release = lj.release.Add(shift)
+		remapped[jobKey{key.task, key.q + k*jobsPerCycle[key.task]}] = lj
+	}
+	a.live = remapped
 }
 
 // Live returns the number of jobs currently tracked as released but

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestScaleMergeErrorBoundProperty: ScaleMerge(k) must summarize the
+// k-fold multiset within the sketch's ORIGINAL ε rank-error bound —
+// the ε-preserving guarantee documented on the method, strictly
+// tighter than the ε·k bound k−1 repeated Merges would give. Pinned
+// across the same distributions as TestSketchErrorBoundProperty.
+func TestScaleMergeErrorBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	gens := map[string]func() vtime.Duration{
+		"uniform":  func() vtime.Duration { return vtime.Duration(rng.Int63n(1_000_000)) },
+		"exp":      func() vtime.Duration { return vtime.Duration(rng.ExpFloat64() * 50_000) },
+		"bimodal":  func() vtime.Duration { return vtime.Duration(rng.Int63n(1000) + rng.Int63n(2)*900_000) },
+		"constant": func() vtime.Duration { return vtime.Millis(29) },
+	}
+	for _, n := range []int{1, 10, 1000, 5000} {
+		for _, k := range []int64{2, 7, 64} {
+			for name, gen := range gens {
+				values := make([]vtime.Duration, n)
+				sk := NewSketch(DefaultSketchEpsilon)
+				for i := range values {
+					values[i] = gen()
+					sk.Add(values[i])
+				}
+				sk.ScaleMerge(k)
+				if sk.N() != int64(n)*k {
+					t.Fatalf("%s n=%d k=%d: N = %d, want %d", name, n, k, sk.N(), int64(n)*k)
+				}
+				if sk.Epsilon() != DefaultSketchEpsilon {
+					t.Fatalf("%s: ScaleMerge widened epsilon to %v", name, sk.Epsilon())
+				}
+				// The k-fold multiset: every observation repeated k times.
+				folded := make([]vtime.Duration, 0, n*int(k))
+				for _, v := range values {
+					for i := int64(0); i < k; i++ {
+						folded = append(folded, v)
+					}
+				}
+				checkBound(t, name, folded, sk)
+			}
+		}
+	}
+}
+
+// TestExtrapolateCyclesMatchesFullStream replays the fast-forward
+// contract at the accumulator level: a transient, one simulated cycle
+// bracketed by CycleMark, an ExtrapolateCycles(k) jump, and a tail
+// must reproduce — exactly on every summary field and within the
+// widened 2ε rank bound on percentiles — the accumulator fed the full
+// expanded event stream. The workload includes a task ("b") whose
+// jobs span cycle boundaries, exercising the live-backlog re-keying.
+func TestExtrapolateCyclesMatchesFullStream(t *testing.T) {
+	const (
+		h         = 200 // cycle length (ms)
+		t0        = 300 // first boundary: transient fully drained
+		numCycles = 6   // cycles in the full run
+		k         = 5   // cycles the fast-forward path extrapolates
+	)
+	// Transient: task a jobs 0..2 (responses 10/20/30ms), task b jobs
+	// 0..1 released (b#0 terminated, b#1 still running at t0).
+	transient := []trace.Event{
+		ev(0, trace.JobRelease, "a", 0), ev(0, trace.JobRelease, "b", 0),
+		ev(10, trace.JobEnd, "a", 0),
+		ev(100, trace.JobRelease, "a", 1),
+		ev(120, trace.JobEnd, "a", 1),
+		ev(200, trace.JobRelease, "b", 1),
+		ev(200, trace.JobRelease, "a", 2),
+		ev(230, trace.JobEnd, "a", 2),
+		ev(250, trace.JobEnd, "b", 0),
+	}
+	// One steady-state cycle starting at boundary 300+200j: task a
+	// releases 2 jobs/cycle (responses 15/25ms), task b releases
+	// 1 job/cycle with a 250ms response that crosses into the next
+	// cycle (so one b job is always live at a boundary).
+	cycle := func(j int64) []trace.Event {
+		base := int64(t0 + h*j)
+		return []trace.Event{
+			ev(base, trace.JobRelease, "a", 3+2*j),
+			ev(base+15, trace.JobEnd, "a", 3+2*j),
+			ev(base+100, trace.JobRelease, "b", 2+j),
+			ev(base+100, trace.JobRelease, "a", 4+2*j),
+			ev(base+125, trace.JobEnd, "a", 4+2*j),
+			ev(base+150, trace.JobEnd, "b", 1+j),
+		}
+	}
+	tail := func() []trace.Event {
+		base := int64(t0 + h*numCycles)
+		return []trace.Event{
+			ev(base, trace.JobRelease, "a", 3+2*numCycles),
+			ev(base+15, trace.JobEnd, "a", 3+2*numCycles),
+		}
+	}
+
+	full := NewAccumulator()
+	for _, e := range transient {
+		full.Append(e)
+	}
+	for j := int64(0); j < numCycles; j++ {
+		for _, e := range cycle(j) {
+			full.Append(e)
+		}
+	}
+	for _, e := range tail() {
+		full.Append(e)
+	}
+
+	ff := NewAccumulator()
+	for _, e := range transient {
+		ff.Append(e)
+	}
+	ff.CycleMark() // boundary t0, before boundary-instant events
+	for _, e := range cycle(0) {
+		ff.Append(e)
+	}
+	// Boundary t0+h fingerprints equal to t0: extrapolate k cycles.
+	ff.ExtrapolateCycles(k, vtime.Millis(h), map[string]int64{"a": 2, "b": 1})
+	for _, e := range tail() {
+		ff.Append(e)
+	}
+
+	if full.Live() != ff.Live() {
+		t.Fatalf("live backlog: full %d, fast-forward %d", full.Live(), ff.Live())
+	}
+	fullRep, ffRep := full.Report(), ff.Report()
+	for _, task := range fullRep.TaskNames() {
+		fs, xs := fullRep.Tasks[task], ffRep.Tasks[task]
+		if xs == nil {
+			t.Fatalf("task %s missing from fast-forward report", task)
+		}
+		if *fs != *xs {
+			t.Errorf("task %s summary diverged:\nfull: %+v\nff:   %+v", task, *fs, *xs)
+		}
+	}
+	// Percentiles: the ff sketch went through one ScaleMerge + Merge,
+	// so its bound is 2ε; check against the exact successful responses
+	// of the full stream.
+	exact := map[string][]vtime.Duration{}
+	addResp := func(task string, ms int64) {
+		exact[task] = append(exact[task], vtime.Millis(ms))
+	}
+	addResp("a", 10)
+	addResp("a", 20)
+	addResp("a", 30)
+	addResp("b", 250)
+	for j := 0; j < numCycles; j++ {
+		addResp("a", 15)
+		addResp("a", 25)
+		addResp("b", 250)
+	}
+	addResp("a", 15) // tail job
+	for task, values := range exact {
+		sorted := append([]vtime.Duration(nil), values...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{50, 90, 99} {
+			got, ok := ffRep.ResponsePercentile(task, p)
+			if !ok {
+				t.Fatalf("%s: p%v query failed", task, p)
+			}
+			lo, hi := exactWindow(sorted, p/100, 2*DefaultSketchEpsilon)
+			if got < lo || got > hi {
+				t.Errorf("%s p%v: fast-forward sketch %v outside 2ε window [%v, %v]", task, p, got, lo, hi)
+			}
+		}
+	}
+}

@@ -111,6 +111,50 @@ func (s *Sketch) Merge(o *Sketch) {
 	s.compress()
 }
 
+// ScaleMerge folds k−1 additional identical copies of the sketch into
+// itself: afterwards the summary describes the k-fold multiset of
+// everything Added so far (the engine's steady-state fast-forward uses
+// this to account K extrapolated hyperperiod cycles at once), and the
+// summary's ε rank-error bound is UNCHANGED. That is strictly tighter
+// than folding the same data in with k−1 repeated Merges, which would
+// widen the bound to k·ε; the property test pins the unchanged-ε
+// guarantee across the test distributions.
+//
+// Two cases keep the per-tuple invariant g+Δ ≤ 2εn that Query's bound
+// rests on. A tuple already inside the scaled budget just scales — the
+// invariant is linear (g+Δ ≤ 2εn ⇒ k(g+Δ) ≤ 2ε·kn). An exact tuple
+// (g = 1, Δ = 0 — the only kind a small un-compressed summary holds)
+// whose scaled gap k would overflow the budget is instead split into
+// same-value tuples with gaps ≤ ⌊2ε·kn⌋: its k copies really do occupy
+// k consecutive ranks, so each chunk's rank is still exact.
+func (s *Sketch) ScaleMerge(k int64) {
+	if k <= 1 || s.n == 0 {
+		return
+	}
+	n2 := s.n * k
+	budget := int64(2 * s.eps * float64(n2))
+	chunk := budget
+	if chunk < 1 {
+		chunk = 1
+	}
+	out := make([]gkTuple, 0, len(s.t))
+	for _, t := range s.t {
+		if (t.g+t.delta)*k <= budget || t.g != 1 || t.delta != 0 {
+			out = append(out, gkTuple{v: t.v, g: t.g * k, delta: t.delta * k})
+			continue
+		}
+		for rest := k; rest > 0; rest -= chunk {
+			g := chunk
+			if rest < chunk {
+				g = rest
+			}
+			out = append(out, gkTuple{v: t.v, g: g})
+		}
+	}
+	s.t = out
+	s.n = n2
+}
+
 // Add inserts one observation.
 func (s *Sketch) Add(v vtime.Duration) {
 	i := sort.Search(len(s.t), func(i int) bool { return s.t[i].v > v })

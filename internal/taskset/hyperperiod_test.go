@@ -1,0 +1,125 @@
+package taskset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// setOf builds an unvalidated set straight from periods — Hyperperiod
+// must be trustworthy even on sets that never went through Validate
+// (the fast-forward eligibility check calls it first).
+func setOf(periods ...int64) *Set {
+	s := &Set{}
+	for i, p := range periods {
+		s.Tasks = append(s.Tasks, Task{
+			Name:     string(rune('a' + i)),
+			Priority: len(periods) - i,
+			Period:   vtime.Duration(p),
+			Deadline: vtime.Duration(p),
+			Cost:     1,
+		})
+	}
+	return s
+}
+
+// TestHyperperiodProperties: for random sets of small periods, the
+// result satisfies the LCM axioms — every period divides it, it is
+// minimal (no proper divisor works), and it is invariant under task
+// order and duplication.
+func TestHyperperiodProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		// Periods ≤ 100 keep even the 6-task product below 2^62, so
+		// the overflow guard never triggers in this property sweep.
+		periods := make([]int64, n)
+		for i := range periods {
+			periods[i] = int64(1 + rng.Intn(100))
+		}
+		s := setOf(periods...)
+		h, err := s.Hyperperiod()
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, periods, err)
+		}
+		for _, p := range periods {
+			if int64(h)%p != 0 {
+				t.Fatalf("trial %d: period %d does not divide hyperperiod %d", trial, p, h)
+			}
+		}
+		// Minimality: h/q for every prime q dividing h must break at
+		// least one divisibility (checked via the smallest prime
+		// factors ≤ h).
+		for _, q := range []int64{2, 3, 5, 7, 11, 13} {
+			if int64(h)%q != 0 {
+				continue
+			}
+			smaller := int64(h) / q
+			divisible := true
+			for _, p := range periods {
+				if smaller%p != 0 {
+					divisible = false
+					break
+				}
+			}
+			if divisible {
+				t.Fatalf("trial %d: %d/%d still divisible by all of %v — not the least common multiple", trial, h, q, periods)
+			}
+		}
+		// Order and duplication invariance.
+		shuffled := append([]int64(nil), periods...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		doubled := append(append([]int64(nil), shuffled...), periods...)
+		if h2, err := setOf(doubled...).Hyperperiod(); err != nil || h2 != h {
+			t.Fatalf("trial %d: shuffled+duplicated set gave %v (%v), want %v", trial, h2, err, h)
+		}
+	}
+}
+
+// TestHyperperiodRejectsNonPositive: zero and negative periods fail
+// with a HyperperiodError naming the offending task, instead of being
+// silently skipped (which historically zeroed the whole LCM).
+func TestHyperperiodRejectsNonPositive(t *testing.T) {
+	for _, bad := range []int64{0, -1, -5000} {
+		s := setOf(100, 200)
+		s.Tasks[1].Period = vtime.Duration(bad)
+		_, err := s.Hyperperiod()
+		var herr *HyperperiodError
+		if !errors.As(err, &herr) {
+			t.Fatalf("period %d: err = %v, want *HyperperiodError", bad, err)
+		}
+		if herr.Task != "b" || herr.Overflow || herr.Period != vtime.Duration(bad) {
+			t.Fatalf("period %d: error fields %+v, want task b, no overflow", bad, herr)
+		}
+	}
+}
+
+// TestHyperperiodOverflowBoundary pins the 2^62 guard exactly: a set
+// whose LCM is 2^62 succeeds, and the first set pushing past it fails
+// with the offending task identified.
+func TestHyperperiodOverflowBoundary(t *testing.T) {
+	// 2^62 exactly: ok (l > 2^62/step ⇔ l·step > 2^62 for powers of 2).
+	s := setOf(1<<62, 1<<10)
+	h, err := s.Hyperperiod()
+	if err != nil || h != vtime.Duration(int64(1)<<62) {
+		t.Fatalf("2^62 LCM: got %v, %v; want exactly 2^62", h, err)
+	}
+	// 2^62 · 3: overflow, attributed to the task that pushed past.
+	s = setOf(1<<62, 3)
+	_, err = s.Hyperperiod()
+	var herr *HyperperiodError
+	if !errors.As(err, &herr) || !herr.Overflow || herr.Task != "b" {
+		t.Fatalf("2^62·3: err = %v, want overflow at task b", err)
+	}
+	// Two large coprime odd periods whose product exceeds 2^62.
+	s = setOf((1<<31)+1, (1<<31)+3)
+	if _, err = s.Hyperperiod(); !errors.As(err, &herr) || !herr.Overflow {
+		t.Fatalf("coprime 2^31±1: err = %v, want overflow", err)
+	}
+	// Empty set: the neutral element, no error.
+	if h, err := (&Set{}).Hyperperiod(); err != nil || h != 1 {
+		t.Fatalf("empty set: got %v, %v; want 1ns", h, err)
+	}
+}

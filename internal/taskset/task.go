@@ -192,19 +192,43 @@ func (s *Set) Utilization() float64 {
 	return u
 }
 
-// Hyperperiod returns the least common multiple of all periods, or
-// (false) if it overflows int64. Offsets are ignored.
-func (s *Set) Hyperperiod() (vtime.Duration, bool) {
+// HyperperiodError names the task on which the hyperperiod
+// computation failed: a non-positive period (the LCM is undefined) or
+// an LCM exceeding the 2^62 ns overflow guard.
+type HyperperiodError struct {
+	Task     string         // offending task
+	Period   vtime.Duration // its declared period
+	Overflow bool           // true: LCM overflow; false: non-positive period
+}
+
+func (e *HyperperiodError) Error() string {
+	if e.Overflow {
+		return fmt.Sprintf("taskset: hyperperiod overflows 2^62 ns at task %q (period %v)", e.Task, e.Period)
+	}
+	return fmt.Sprintf("taskset: task %q has non-positive period %v; hyperperiod undefined", e.Task, e.Period)
+}
+
+// Hyperperiod returns the least common multiple of all periods.
+// Offsets are ignored. The error is a *HyperperiodError naming the
+// offending task when a period is non-positive (historically such
+// tasks were silently skipped, which could zero the whole LCM) or
+// when the running LCM would exceed 2^62 ns. An empty set has
+// hyperperiod 1 ns (the neutral element).
+func (s *Set) Hyperperiod() (vtime.Duration, error) {
 	l := int64(1)
-	for _, t := range s.Tasks {
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.Period <= 0 {
+			return 0, &HyperperiodError{Task: t.Name, Period: t.Period}
+		}
 		g := gcd(l, int64(t.Period))
 		step := int64(t.Period) / g
-		if step != 0 && l > (1<<62)/step {
-			return 0, false
+		if l > (1<<62)/step {
+			return 0, &HyperperiodError{Task: t.Name, Period: t.Period, Overflow: true}
 		}
 		l *= step
 	}
-	return vtime.Duration(l), true
+	return vtime.Duration(l), nil
 }
 
 func gcd(a, b int64) int64 {

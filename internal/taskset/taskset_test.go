@@ -74,9 +74,9 @@ func TestHigherOrEqualPriorityExcludesSelf(t *testing.T) {
 
 func TestHyperperiod(t *testing.T) {
 	s := MustNew(valid("a", 3, 200, 70, 29), valid("b", 2, 250, 120, 29), valid("c", 1, 1500, 120, 29))
-	h, ok := s.Hyperperiod()
-	if !ok {
-		t.Fatal("hyperperiod overflowed")
+	h, err := s.Hyperperiod()
+	if err != nil {
+		t.Fatalf("hyperperiod: %v", err)
 	}
 	if h != ms(3000) {
 		t.Fatalf("hyperperiod = %v, want 3000ms (lcm of 200, 250, 1500)", h)

@@ -40,7 +40,19 @@ func FuzzScenario(f *testing.F) {
 	for _, seed := range []uint64{49, 53, 139, 38, 58, 25} {
 		f.Add(seed)
 	}
+	// Fast-forward corpus: seeds whose FastForwardable derivation
+	// covers both policies, multicore and long offsets, so the
+	// fast-forward leg starts from every eligible shape.
+	for _, seed := range []uint64{3, 5, 11, 17} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
+		// Fast-forward leg: the seed's FastForwardable derivation must
+		// reproduce its oracle-verified full run across the analytic
+		// jump (counts exactly, percentiles within the widened bound).
+		if err := sim.FastForwardCheck(seed); err != nil {
+			t.Fatalf("fast-forward differential: %v", err)
+		}
 		sc := gen.Scenario(seed)
 		for _, mode := range gen.LegalCollectModes(&sc) {
 			if err := runVerified(sc, mode); err != nil {
@@ -76,6 +88,13 @@ func TestFuzzSeedsSmoke(t *testing.T) {
 			if err := runVerified(sc, mode); err != nil {
 				t.Errorf("seed %d (%s): %v", seed, mode, err)
 			}
+		}
+	}
+	// The fast-forward corpus seeds (see FuzzScenario's fast-forward
+	// leg); the full x14 sweep covers a wider range.
+	for _, seed := range []uint64{3, 5, 11, 17} {
+		if err := sim.FastForwardCheck(seed); err != nil {
+			t.Errorf("seed %d fast-forward differential: %v", seed, err)
 		}
 	}
 }

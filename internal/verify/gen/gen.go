@@ -194,6 +194,126 @@ func Checkpointable(seed uint64) scenario.Scenario {
 	return sc
 }
 
+// FastForwardable derives a valid *fast-forward-eligible* scenario
+// from the seed: a harmonic-grid task set whose periods all divide
+// 200 ms (so the hyperperiod is exactly 200 ms and steady-state cycles
+// actually repeat within a testable horizon), treatment none, no
+// faults, servers or stop jitter, streaming collection, an order-only
+// policy, and "fast_forward": true. It cannot reuse the Scenario
+// derivation the way Checkpointable does — UUniFast period draws make
+// hyperperiods up to lcm(20..200 ms), far past any testable horizon.
+// About a third of the seeds land on 2 or 4 cores (global or
+// partitioned) and the horizon deliberately includes a non-multiple
+// tail beyond the last whole cycle. It feeds the x14 fast-forward
+// differential sweep and FuzzScenario's fast-forward leg.
+func FastForwardable(seed uint64) scenario.Scenario {
+	r := taskset.NewRand(seed)
+	periodsMS := []int64{20, 40, 50, 100, 200} // every entry divides 200 ms
+	policy := []string{"fixed-priority", "edf"}[r.Intn(2)]
+	cpus := []int{1, 1, 1, 2, 4}[r.Intn(5)]
+
+	n := 2 + r.Intn(5) // 2..6 tasks
+	util := (0.30 + 0.35*r.Float64()) * float64(cpus)
+
+	// Draw the set, retrying with a lighter load until the admission
+	// test (uniprocessor) or the partitioner (multicore) accepts it.
+	var set *taskset.Set
+	for attempt := 0; ; attempt++ {
+		// UUniFast-style utilization split over the harmonic grid.
+		weights := make([]float64, n)
+		var total float64
+		for i := range weights {
+			weights[i] = 0.1 + r.Float64()
+			total += weights[i]
+		}
+		tasks := make([]taskset.Task, n)
+		for i := range tasks {
+			period := vtime.Millis(periodsMS[r.Intn(len(periodsMS))])
+			cost := vtime.Duration(weights[i] / total * util * float64(period))
+			cost = cost / (10 * vtime.Microsecond) * (10 * vtime.Microsecond)
+			if cost < vtime.Millisecond {
+				cost = vtime.Millisecond
+			}
+			if cost > period {
+				cost = period
+			}
+			t := taskset.Task{
+				Name:     fmt.Sprintf("tau%d", i+1),
+				Priority: n - i,
+				Period:   period,
+				Deadline: period,
+				Cost:     cost,
+			}
+			if r.Float64() < 0.30 {
+				// Offsets in 10 ms multiples up to two periods: a
+				// transient longer than one hyperperiod for some seeds.
+				t.Offset = vtime.Millis(10 * int64(r.Intn(int(2*period/vtime.Millis(10)))))
+			}
+			tasks[i] = t
+		}
+		s, err := taskset.New(tasks...)
+		if err != nil {
+			panic(fmt.Sprintf("gen: fast-forward task build: %v", err)) // generator bug
+		}
+		if cpus > 1 {
+			set = s
+			break
+		}
+		if rep, err := analysis.Feasible(s); err == nil && rep.Feasible {
+			set = s
+			break
+		}
+		if attempt == genAttempts-1 {
+			// Refuses to admit at the drawn load: a minimal surely
+			// feasible set keeps the seed usable.
+			set, _ = taskset.New(taskset.Task{
+				Name: "tau1", Priority: 1,
+				Period: vtime.Millis(100), Deadline: vtime.Millis(100), Cost: vtime.Millis(10),
+			})
+			break
+		}
+		util *= 0.8
+	}
+
+	hyper := vtime.Millis(200)
+	sc := scenario.Scenario{
+		Name:        fmt.Sprintf("gen-ff-%016x", seed),
+		Description: "seeded random fast-forward scenario (internal/verify/gen)",
+		Policy:      policy,
+		Treatment:   "none",
+		Seed:        r.Uint64(),
+		Collect:     &scenario.Collect{Mode: scenario.CollectStream},
+		FastForward: true,
+	}
+	for _, t := range set.Tasks {
+		sc.Tasks = append(sc.Tasks, scenario.FromTask(t))
+	}
+	// 3..42 whole cycles plus, usually, a partial tail in 10 ms steps.
+	sc.Horizon = scenario.Duration(vtime.Duration(3+r.Intn(40))*hyper +
+		vtime.Millis(10*int64(r.Intn(20))))
+	if r.Float64() < 0.25 {
+		sc.ContextSwitch = scenario.Duration(r.DurationIn(10*vtime.Microsecond, 200*vtime.Microsecond))
+	}
+	if cpus > 1 {
+		sc.CPUs = cpus
+		if r.Float64() < 0.5 {
+			sc.Placement = scenario.PlacementPartitioned
+			if r.Float64() < 0.5 {
+				sc.Partitioner = scenario.PartitionBestFit
+			}
+			if _, err := sc.Partition(); err != nil {
+				// No feasible packing onto the drawn cores: run global.
+				sc.Placement, sc.Partitioner = "", ""
+			}
+		}
+	}
+
+	if err := sc.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: seed %#x produced an invalid fast-forward scenario: %v", seed, err)) // generator bug
+	}
+	return sc
+}
+
 // addServer appends a polling server that keeps the system feasible;
 // on rejection the scenario simply stays server-free.
 func addServer(sc *scenario.Scenario, r *taskset.Rand, set *taskset.Set) {

@@ -200,3 +200,59 @@ func TestGeneratorPolicyListCurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestFastForwardableValidAndCovering: every derived fast-forward
+// scenario validates as eligible, is deterministic per seed, and the
+// seed range reaches both policies, multicore placements, offsets and
+// non-multiple horizons.
+func TestFastForwardableValidAndCovering(t *testing.T) {
+	policies := map[string]bool{}
+	var multi, partitioned, offset, tail bool
+	hyper := vtime.Millis(200)
+	for seed := uint64(0); seed < 128; seed++ {
+		sc := FastForwardable(seed)
+		if !sc.FastForward {
+			t.Fatalf("seed %d: fast_forward not set", seed)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, _ := scenario.Marshal(ptr(FastForwardable(seed)))
+		b, _ := scenario.Marshal(ptr(sc))
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: two derivations differ", seed)
+		}
+		for _, task := range sc.Tasks {
+			if vtime.Duration(hyper)%vtime.Duration(task.Period) != 0 {
+				t.Fatalf("seed %d: period %v does not divide the 200 ms hyperperiod", seed, task.Period)
+			}
+			if task.Offset > 0 {
+				offset = true
+			}
+		}
+		policies[sc.Policy] = true
+		if sc.CPUs > 1 {
+			multi = true
+			if sc.Placement == scenario.PlacementPartitioned {
+				partitioned = true
+			}
+		}
+		if vtime.Duration(sc.Horizon)%vtime.Duration(hyper) != 0 {
+			tail = true
+		}
+	}
+	for _, p := range []string{"fixed-priority", "edf"} {
+		if !policies[p] {
+			t.Errorf("policy %q never generated", p)
+		}
+	}
+	if !multi || !partitioned {
+		t.Errorf("multicore coverage: multi=%v partitioned=%v", multi, partitioned)
+	}
+	if !offset {
+		t.Error("no scenario with a release offset generated")
+	}
+	if !tail {
+		t.Error("no scenario with a non-multiple horizon tail generated")
+	}
+}

@@ -6,9 +6,11 @@
 # (BenchmarkEngineThroughput/cores=N streaming across the core-count
 # axis, plus ...Retain) with events/sec, B/op and allocs/op, the
 # BenchmarkEngineScaling/tasks=N task-count
-# series, and the derived sub-linearity ratio — per-event cost at the
-# largest size over the smallest, next to the task-count ratio it
-# should stay far below. Fails when either benchmark family is
+# series, the BenchmarkEngineFastForward/horizon=H/mode=full|ff pairs
+# with their derived fastforward_speedup rows (full ns/op over ff
+# ns/op per horizon), and the derived sub-linearity ratio — per-event
+# cost at the largest size over the smallest, next to the task-count
+# ratio it should stay far below. Fails when any benchmark family is
 # missing so CI notices a silently skipped run, and when any
 # events_per_sec field is absent — that field feeds the perf gate
 # (scripts/bench_gate.sh), and a silent "null" there would let a
@@ -19,12 +21,13 @@ set -euo pipefail
 in=${1:-bench.txt}
 out=${2:-BENCH_engine.json}
 # The gate's focused run (make bench-gate) measures only the
-# throughput pair; REQUIRE_SCALING=0 lets it use this extractor
-# without the scaling family. The full bench-json artifact keeps the
-# default (both families mandatory).
+# throughput pair; REQUIRE_SCALING=0 / REQUIRE_FASTFORWARD=0 let it
+# use this extractor without the scaling and fast-forward families.
+# The full bench-json artifact keeps the default (all mandatory).
 require_scaling=${REQUIRE_SCALING:-1}
+require_fastforward=${REQUIRE_FASTFORWARD:-1}
 
-awk -v require_scaling="$require_scaling" '
+awk -v require_scaling="$require_scaling" -v require_fastforward="$require_fastforward" '
 function val(k) { return (k in v) ? v[k] : "null" }
 # Gate-feeding fields are mandatory: record the miss and fail in END
 # (after the full report, so one run surfaces every missing field).
@@ -37,11 +40,19 @@ function must(k) {
     return v[k]
 }
 BEGIN { printf "[\n"; sep = "" }
-/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineThroughput\/cores=/ || /^BenchmarkEngineScaling\// {
+/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineThroughput\/cores=/ || /^BenchmarkEngineScaling\// || /^BenchmarkEngineFastForward\// {
     name = $1; sub(/-[0-9]+$/, "", name)
     delete v
     for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
-    if (name ~ /^BenchmarkEngineScaling\//) {
+    if (name ~ /^BenchmarkEngineFastForward\//) {
+        h = name; sub(/^BenchmarkEngineFastForward\/horizon=/, "", h); sub(/\/mode=.*$/, "", h)
+        mode = name; sub(/^.*\/mode=/, "", mode)
+        printf "%s  {\"benchmark\":\"%s\",\"horizon\":\"%s\",\"mode\":\"%s\",\"ns_per_op\":%s,\"jobs\":%s,\"skipped_cycles\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+            sep, name, h, mode, must("ns/op"), val("jobs"), val("skipped_cycles"), val("B/op"), val("allocs/op")
+        if (!(h in ffseen)) { ffseen[h] = 1; horder[++nh] = h }
+        if (mode == "full") fullns[h] = v["ns/op"]; else if (mode == "ff") ffns[h] = v["ns/op"]
+        fastforward = 1
+    } else if (name ~ /^BenchmarkEngineScaling\//) {
         tasks = name; sub(/^BenchmarkEngineScaling\/tasks=/, "", tasks)
         printf "%s  {\"benchmark\":\"%s\",\"tasks\":%s,\"events\":%s,\"switches\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
             sep, name, tasks, val("events"), val("switches"), must("events_per_sec"), val("B/op"), val("allocs/op")
@@ -69,9 +80,24 @@ END {
         print "bench_engine_json: BenchmarkEngineThroughput / BenchmarkEngineScaling missing from input" > "/dev/stderr"
         exit 1
     }
+    if (!fastforward && require_fastforward) {
+        print "bench_engine_json: BenchmarkEngineFastForward missing from input" > "/dev/stderr"
+        exit 1
+    }
     if (missing) {
         print "bench_engine_json: mandatory gate-feeding field(s) missing (see above)" > "/dev/stderr"
         exit 1
+    }
+    for (i = 1; i <= nh; i++) {
+        h = horder[i]
+        if (fullns[h] > 0 && ffns[h] > 0) {
+            printf "%s  {\"benchmark\":\"fastforward_speedup\",\"horizon\":\"%s\",\"full_ns_per_op\":%s,\"ff_ns_per_op\":%s,\"speedup_x\":%.1f}", \
+                sep, h, fullns[h], ffns[h], fullns[h] / ffns[h]
+            sep = ",\n"
+        } else if (require_fastforward) {
+            printf "bench_engine_json: fast-forward horizon %s is missing its full/ff pair\n", h > "/dev/stderr"
+            exit 1
+        }
     }
     if (maxns > 0 && minns > 0) {
         printf "%s  {\"benchmark\":\"scaling_sublinearity\",\"tasks_ratio\":%.1f,\"ns_per_event_ratio\":%.3f,\"ns_per_event_min_tasks\":%.1f,\"ns_per_event_max_tasks\":%.1f}\n", \

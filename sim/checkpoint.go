@@ -116,6 +116,8 @@ func (s *System) checkpointable() error {
 		return fmt.Errorf("sim: checkpointing requires streaming collection (\"collect\": {\"mode\": %q})", CollectStream)
 	case s.sc.Verify:
 		return fmt.Errorf("sim: checkpointing cannot combine with the online oracle; replay the concatenated trace instead")
+	case s.sc.FastForward:
+		return fmt.Errorf("sim: checkpointing cannot combine with fast-forward (the analytic jump skips the boundary instants a snapshot would capture)")
 	}
 	return nil
 }

@@ -152,4 +152,13 @@ func init() {
 			}
 			return Result{Data: points, Text: RenderMulticore(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x14",
+		"X14 — fast-forward differential sweep: analytic hyperperiod jumps vs oracle-verified full runs",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := FastForwardSweep(ctx, FastForwardSeed, FastForwardCount, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: RenderFastForward(points)}, nil
+		}))
 }

@@ -274,6 +274,14 @@ type Scenario struct {
 	// Streaming collection cannot combine with servers: the aperiodic
 	// service analysis reads the retained log.
 	Collect *Collect `json:"collect,omitempty"`
+	// FastForward enables steady-state cycle detection: the engine
+	// fingerprints each hyperperiod boundary and extrapolates the
+	// remaining whole cycles once two consecutive boundaries match,
+	// simulating only the transient and the tail. Requires streaming
+	// collection and treatment none, and excludes faults, servers,
+	// stop jitter, verify and non-order-only policies — everything
+	// that breaks periodicity or observes the skipped events.
+	FastForward bool `json:"fast_forward,omitempty"`
 	// Verify enables the online invariant oracle: every trace event
 	// is checked against the scheduling axioms as it is recorded and
 	// the run fails on any violation (see internal/verify). Works in
@@ -335,6 +343,42 @@ func (sc *Scenario) Validate() error {
 		if sc.Streaming() && len(sc.Servers) > 0 {
 			return fmt.Errorf("scenario: collect mode %q cannot combine with servers: aperiodic service analysis needs the retained log", CollectStream)
 		}
+	}
+	if err := sc.validateFastForward(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateFastForward pins the fast_forward eligibility grammar: the
+// flag may only combine with configurations whose hyperperiod cycles
+// provably repeat and whose observers tolerate the analytic jump.
+func (sc *Scenario) validateFastForward() error {
+	if !sc.FastForward {
+		return nil
+	}
+	if !sc.Streaming() {
+		return fmt.Errorf("scenario: fast_forward requires collect mode %q", CollectStream)
+	}
+	if !treatmentIsNone(sc.Treatment) {
+		return fmt.Errorf("scenario: fast_forward requires treatment none (detector timers re-arm every period), got %q", sc.Treatment)
+	}
+	if len(sc.Faults) > 0 {
+		return fmt.Errorf("scenario: fast_forward cannot combine with faults (fault arrivals break hyperperiod periodicity)")
+	}
+	if len(sc.Servers) > 0 {
+		return fmt.Errorf("scenario: fast_forward cannot combine with servers (aperiodic arrivals break hyperperiod periodicity)")
+	}
+	if sc.StopJitterMax > 0 {
+		return fmt.Errorf("scenario: fast_forward cannot combine with stop_jitter_max (random draws break hyperperiod periodicity)")
+	}
+	if sc.Verify {
+		return fmt.Errorf("scenario: fast_forward cannot combine with verify (extrapolated cycles emit no events to check)")
+	}
+	switch sc.Policy {
+	case "", "fixed-priority", "edf":
+	default:
+		return fmt.Errorf("scenario: fast_forward requires an order-only policy (fixed-priority or edf), got %q — stateful overload policies are not covered by the cycle fingerprint", sc.Policy)
 	}
 	return nil
 }

@@ -133,6 +133,56 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateFastForward pins the fast_forward grammar: streaming
+// collection and treatment none required; faults, servers, stop
+// jitter, the online oracle and stateful overload policies excluded.
+func TestValidateFastForward(t *testing.T) {
+	ff := func() Scenario {
+		sc := validScenario()
+		sc.FastForward = true
+		sc.Collect = &Collect{Mode: CollectStream}
+		return sc
+	}
+	base := ff()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("eligible fast-forward scenario rejected: %v", err)
+	}
+	for _, policy := range []string{"", "fixed-priority", "edf"} {
+		sc := ff()
+		sc.Policy = policy
+		if err := sc.Validate(); err != nil {
+			t.Errorf("policy %q must stay eligible: %v", policy, err)
+		}
+	}
+	for name, mutate := range map[string]func(*Scenario){
+		"retained collection": func(sc *Scenario) { sc.Collect = nil },
+		"treatment":           func(sc *Scenario) { sc.Treatment = "stop" },
+		"fault plan": func(sc *Scenario) {
+			sc.Faults = []Fault{{Task: "tau1", Kind: FaultOverrunAt, Job: 1, Extra: ms(1)}}
+		},
+		"server": func(sc *Scenario) {
+			sc.Servers = []Server{{
+				Task:     Task{Name: "srv", Priority: 3, Period: ms(40), Deadline: ms(40), Cost: ms(2)},
+				Requests: []Request{{ID: "r1", Arrival: ms(5), Cost: ms(1)}},
+			}}
+		},
+		"stop jitter":     func(sc *Scenario) { sc.StopJitterMax = ms(1) },
+		"online oracle":   func(sc *Scenario) { sc.Verify = true },
+		"stateful policy": func(sc *Scenario) { sc.Policy = "d-over"; sc.SkipAdmission = true },
+	} {
+		sc := ff()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: fast-forward validation must fail", name)
+		} else if !strings.Contains(err.Error(), "fast_forward") && !strings.Contains(err.Error(), "servers") {
+			// Servers already conflict with streaming collection, which
+			// validation reports first; everything else must name the
+			// fast_forward field.
+			t.Errorf("%s: error must name fast_forward, got %v", name, err)
+		}
+	}
+}
+
 func TestKnownPoliciesAndTreatmentsValidate(t *testing.T) {
 	for _, policy := range []string{"", "fixed-priority", "edf", "best-effort", "red", "d-over"} {
 		sc := validScenario()

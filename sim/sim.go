@@ -243,6 +243,20 @@ func WithVerify() Option {
 	return func(sc *Scenario) error { sc.Verify = true; return nil }
 }
 
+// WithFastForward arms hyperperiod cycle detection: the engine
+// fingerprints the scheduling state at every hyperperiod boundary and,
+// once two consecutive boundaries match, extrapolates the remaining
+// whole cycles analytically instead of simulating them — long horizons
+// cost O(transient + one cycle + tail). Counts and summaries are
+// exact; streamed percentiles keep the sketch's rank-error guarantee.
+// Requires streaming collection and treatment none; faults, servers,
+// stop jitter, the online oracle and trace spilling are incompatible
+// (validation and Run reject the combinations). The scenario JSON
+// equivalent is "fast_forward": true.
+func WithFastForward() Option {
+	return func(sc *Scenario) error { sc.FastForward = true; return nil }
+}
+
 // WithCollection selects the run-data retention mode: CollectRetain
 // (the default — full log and per-job records) or CollectStream
 // (bounded memory for long horizons: online metrics accumulation, no

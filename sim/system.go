@@ -45,6 +45,17 @@ func (s *System) SpillTrace(w io.Writer) { s.spill = w }
 // "verify": true — how cmd/rtrun -check arms it on a loaded file).
 func (s *System) SetVerify(on bool) { s.sc.Verify = on }
 
+// SetFastForward arms hyperperiod fast-forward on an already-built
+// system (the post-load equivalent of WithFastForward or the
+// scenario's "fast_forward": true — how cmd/rtrun -fast-forward arms
+// it on a loaded file). Unlike SetVerify it can fail: the scenario
+// must satisfy the fast_forward eligibility grammar (streaming
+// collection, treatment none, no faults, servers or stop jitter).
+func (s *System) SetFastForward(on bool) error {
+	s.sc.FastForward = on
+	return s.sc.Validate()
+}
+
 // ObserveProgress registers fn to observe the run's advancing virtual
 // clock: it is called from the engine loop with the instant of the
 // first event recorded at or after each successive `every` boundary,
@@ -111,6 +122,10 @@ type RunResult struct {
 	Detections int64
 	// Switches counts dispatch switches.
 	Switches int64
+	// SkippedCycles is the number of whole hyperperiod cycles a
+	// fast-forward run extrapolated analytically (zero when
+	// fast-forward was off or never detected a steady state).
+	SkippedCycles int64
 	// Served maps each declared server task name to its per-request
 	// service outcomes.
 	Served map[string][]aperiodic.Served
@@ -207,6 +222,17 @@ func (s *System) Run() (*RunResult, error) {
 			acc = metrics.NewAccumulator()
 			sink = trace.Tee(acc, sink)
 		}
+		// The bare-engine path wires fast-forward itself (no core System
+		// exists to do it). The skipped cycles produce no trace events,
+		// so a spill or progress observer would see a hole — refuse the
+		// combination like core's TraceSink check does.
+		var obs engine.CycleObserver
+		if sc.FastForward {
+			if s.spill != nil || s.progress != nil {
+				return nil, fmt.Errorf("sim: fast-forward cannot combine with a trace spill or progress observer (extrapolated cycles produce no events)")
+			}
+			obs = acc
+		}
 		var chk *verify.Checker
 		if sc.Verify {
 			// The bare-engine path wires the oracle itself (no core
@@ -232,6 +258,8 @@ func (s *System) Run() (*RunResult, error) {
 			Sink:          sink,
 			CPUs:          sc.CPUs,
 			Partition:     partition,
+			FastForward:   sc.FastForward,
+			Observer:      obs,
 		})
 		if err != nil {
 			return nil, err
@@ -251,6 +279,7 @@ func (s *System) Run() (*RunResult, error) {
 			res.Report = metrics.Analyze(res.Log)
 		}
 		res.Switches = eng.Switches()
+		res.SkippedCycles = eng.SkippedCycles()
 	} else {
 		sys, err := core.NewSystem(core.Config{
 			Tasks:               set,
@@ -267,6 +296,7 @@ func (s *System) Run() (*RunResult, error) {
 			TraceSink:           sink,
 			Verify:              sc.Verify,
 			VerifyServerBudgets: verify.ServerBudgets(&sc),
+			FastForward:         sc.FastForward,
 		})
 		if err != nil {
 			return nil, err
@@ -284,6 +314,7 @@ func (s *System) Run() (*RunResult, error) {
 		res.Allowance = r.Allowance
 		res.Detections = r.Detections
 		res.Switches = r.Switches
+		res.SkippedCycles = r.SkippedCycles
 	}
 	if spill != nil {
 		if err := spill.Flush(); err != nil {
