@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail in bench-json.
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 x13 x14 fuzz-smoke serve-smoke ci
+.PHONY: build test race bench bench-json bench-gate script-lint fmt vet fmt-check x11 x12 x13 x14 x15 fuzz-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench-gate:
 	@for i in 1 2 3; do \
 		set -o pipefail; \
 		if $(GO) test -bench 'BenchmarkEngineThroughput' -benchtime 100x -count 5 -benchmem -run '^$$' . | tee bench_gate.txt \
-			&& REQUIRE_SCALING=0 REQUIRE_FASTFORWARD=0 scripts/bench_engine_json.sh bench_gate.txt BENCH_gate.json \
+			&& REQUIRE_SCALING=0 REQUIRE_FASTFORWARD=0 REQUIRE_OPENARRIVALS=0 scripts/bench_engine_json.sh bench_gate.txt BENCH_gate.json \
 			&& scripts/bench_gate.sh BENCH_gate.json; then \
 			exit 0; \
 		elif [ $$i -lt 3 ]; then \
@@ -98,6 +98,15 @@ x13:
 x14:
 	$(GO) run ./cmd/rtexp -exp x14 > /dev/null
 
+# The X15 open-arrivals differential: 18 fixed-seed scenarios cycling
+# the three arrival-source kinds (Poisson, MMPP, trace replay), each
+# run with the oracle armed in both collection modes; any invariant
+# violation or retain/stream divergence fails, as does a realized
+# Poisson gap set breaking the KS exponentiality bound or a trace that
+# does not re-encode byte-identically.
+x15:
+	$(GO) run ./cmd/rtexp -exp x15 > /dev/null
+
 # End-to-end smoke of the serving stack: boot rtserved, prove the
 # cache contract (miss/hit, byte-equality with `rtrun -scenario`),
 # hold a pinned p99 SLO on a cached burst, and saturate a tiny
@@ -112,4 +121,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCheckpoint -fuzztime 10s ./internal/verify/gen
 
-ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 x13 x14 serve-smoke
+ci: build vet fmt-check script-lint race bench-json bench-gate x11 x12 x13 x14 x15 serve-smoke

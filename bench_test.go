@@ -676,6 +676,52 @@ func BenchmarkEngineFastForward(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineOpenArrivals (X15) prices source-driven releases: 30
+// simulated seconds of a periodic task beside a Poisson-driven and an
+// MMPP-driven task on the bare engine, streaming collection. The
+// per-release override staging must keep the open-arrival loop in the
+// same events_per_sec family as the periodic one — CI distils the row
+// into BENCH_engine.json and the gate watches it.
+func BenchmarkEngineOpenArrivals(b *testing.B) {
+	set := taskset.MustNew(
+		taskset.Task{Name: "steady", Priority: 10, Period: ms(40), Deadline: ms(40), Cost: ms(4)},
+		taskset.Task{Name: "open-poisson", Priority: 7, Period: ms(50), Deadline: ms(30), Cost: ms(2)},
+		taskset.Task{Name: "open-mmpp", Priority: 5, Period: ms(60), Deadline: ms(40), Cost: ms(2)},
+	)
+	var events int64
+	var loop time.Duration
+	for i := 0; i < b.N; i++ {
+		// Sources are consumed by the run, so rebuild per iteration —
+		// fixed seeds keep every iteration (and commit) comparable.
+		poisson, err := taskset.NewPoisson(ms(12), 0x0BE5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mmpp, err := taskset.NewMMPP(ms(45), ms(5), ms(300), ms(120), 0x0FED)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := &countingSink{}
+		e, err := engine.New(engine.Config{
+			Tasks:   set,
+			End:     vtime.Time(30 * vtime.Second),
+			Collect: engine.Stream,
+			Sink:    sink,
+			Sources: []taskset.Source{nil, poisson, mmpp},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		e.Run()
+		loop += time.Since(t0)
+		events = sink.n
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(events), "trace_events")
+	b.ReportMetric(float64(events)*float64(b.N)/loop.Seconds(), "events_per_sec")
+}
+
 // BenchmarkAperiodicServer (X7, §7 outlook) runs the polling-server
 // scenario: a 3×20 ms burst through a 10 ms / 50 ms server beside a
 // hard periodic task; the hard task must never miss.

@@ -17,6 +17,18 @@
 // from a JSON file, so arbitrary workloads run with zero code
 // changes.
 //
+// The -arrive flag replaces a task's periodic release law with an
+// open arrival source (repeatable, comma separated):
+//
+//	rtrun -tasks system.tasks -arrive tau1:poisson:30        (meanMS[:seed])
+//	rtrun -tasks system.tasks -arrive tau1:mmpp:60:8:400:150 (meanMS:burstMeanMS:dwellMS:burstDwellMS[:seed])
+//	rtrun -tasks system.tasks -arrive tau1:trace:run.jsonl   (JSON-lines trace file)
+//
+// Source-driven releases have no periodic admission analysis, so
+// -arrive implies skip_admission (the bare engine, treatment none).
+// In a scenario file the equivalent is the "arrivals" block, which
+// additionally supports inline trace records and server-fed sources.
+//
 // -stream switches to streaming collection for long horizons: metrics
 // are accumulated online with bounded memory instead of retaining
 // every job and event, and the summary still prints. The trace is
@@ -91,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		treatment  = fs.String("treatment", "none", "fault treatment: none|detect|stop|equitable|system")
 		horizonMS  = fs.Int64("horizon", 3000, "simulated horizon in milliseconds")
 		faultSpec  = fs.String("fault", "", "inject a cost overrun: task:job:extraMS (repeatable, comma separated)")
+		arriveSpec = fs.String("arrive", "", "drive a task by an arrival source: task:poisson:meanMS[:seed] | task:mmpp:meanMS:burstMeanMS:dwellMS:burstDwellMS[:seed] | task:trace:file.jsonl (repeatable, comma separated; implies skip_admission)")
 		resolution = fs.Int64("resolution", 10, "detector timer resolution in ms (0 = exact)")
 		outPath    = fs.String("o", "", "log output file (default stdout)")
 		summary    = fs.Bool("summary", true, "print the per-task summary to stderr")
@@ -126,8 +139,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "tasks", "scenario", "treatment", "horizon", "fault", "resolution",
-				"stream", "check", "checkpoint", "checkpoint-at", "o",
+			case "tasks", "scenario", "treatment", "horizon", "fault", "arrive",
+				"resolution", "stream", "check", "checkpoint", "checkpoint-at", "o",
 				"cpus", "placement", "partitioner", "fast-forward":
 				conflict = f.Name
 			}
@@ -149,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "treatment", "horizon", "fault", "resolution", "stream",
+			case "treatment", "horizon", "fault", "arrive", "resolution", "stream",
 				"cpus", "placement", "partitioner":
 				conflict = f.Name
 			}
@@ -176,12 +189,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if perr != nil {
 			return fail(perr)
 		}
+		arrivals, perr := parseArrivals(*arriveSpec)
+		if perr != nil {
+			return fail(perr)
+		}
 		opts := []sim.Option{
 			sim.WithTaskFile(*tasksPath),
 			sim.WithTreatment(*treatment),
 			sim.WithHorizon(vtime.Millis(*horizonMS)),
 			sim.WithTimerResolution(vtime.Millis(*resolution)),
 			sim.WithFaults(faults...),
+		}
+		if len(arrivals) > 0 {
+			// Task-targeted sources ride the bare engine: open arrivals
+			// have no periodic admission analysis, so -arrive implies
+			// skip_admission (validation rejects any other treatment).
+			opts = append(opts, sim.WithArrivals(arrivals...), sim.WithoutAdmission())
 		}
 		if *stream {
 			opts = append(opts, sim.WithCollection(sim.CollectStream))
@@ -327,4 +350,78 @@ func parseFaults(spec string) ([]sim.Fault, error) {
 		})
 	}
 	return faults, nil
+}
+
+// parseArrivals turns the -arrive entries into scenario arrival
+// sources, in order. Each entry names the task it drives and the
+// source kind; the remaining fields are the kind's parameters, with
+// durations in milliseconds exactly like the scenario JSON's:
+//
+//	task:poisson:meanMS[:seed]
+//	task:mmpp:meanMS:burstMeanMS:dwellMS:burstDwellMS[:seed]
+//	task:trace:file.jsonl
+func parseArrivals(spec string) ([]sim.Arrival, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	ms := func(field, s string) (sim.Duration, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("arrive %s: %q is not a positive millisecond count", field, s)
+		}
+		return sim.Duration(vtime.Millis(v)), nil
+	}
+	var arrivals []sim.Arrival
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || fields[0] == "" {
+			return nil, fmt.Errorf("arrive spec %q is not task:kind:params", part)
+		}
+		a := sim.Arrival{Task: fields[0], Kind: fields[1]}
+		params := fields[2:]
+		var err error
+		switch a.Kind {
+		case sim.ArrivalPoisson:
+			if len(params) != 1 && len(params) != 2 {
+				return nil, fmt.Errorf("arrive spec %q is not task:poisson:meanMS[:seed]", part)
+			}
+			if a.Mean, err = ms("mean", params[0]); err != nil {
+				return nil, err
+			}
+			if len(params) == 2 {
+				if a.Seed, err = strconv.ParseUint(params[1], 10, 64); err != nil {
+					return nil, fmt.Errorf("arrive seed: %v", err)
+				}
+			}
+		case sim.ArrivalMMPP:
+			if len(params) != 4 && len(params) != 5 {
+				return nil, fmt.Errorf("arrive spec %q is not task:mmpp:meanMS:burstMeanMS:dwellMS:burstDwellMS[:seed]", part)
+			}
+			if a.Mean, err = ms("mean", params[0]); err != nil {
+				return nil, err
+			}
+			if a.BurstMean, err = ms("burst mean", params[1]); err != nil {
+				return nil, err
+			}
+			if a.Dwell, err = ms("dwell", params[2]); err != nil {
+				return nil, err
+			}
+			if a.BurstDwell, err = ms("burst dwell", params[3]); err != nil {
+				return nil, err
+			}
+			if len(params) == 5 {
+				if a.Seed, err = strconv.ParseUint(params[4], 10, 64); err != nil {
+					return nil, fmt.Errorf("arrive seed: %v", err)
+				}
+			}
+		case sim.ArrivalTrace:
+			// Re-join so Windows-style or otherwise colonful paths
+			// survive the field split.
+			a.Path = strings.Join(params, ":")
+		default:
+			return nil, fmt.Errorf("arrive kind %q is not poisson, mmpp or trace", a.Kind)
+		}
+		arrivals = append(arrivals, a)
+	}
+	return arrivals, nil
 }

@@ -112,6 +112,99 @@ func TestParseFaults(t *testing.T) {
 	}
 }
 
+func TestParseArrivals(t *testing.T) {
+	arrivals, err := parseArrivals("tau1:poisson:30:7,tau2:mmpp:60:8:400:150,tau3:trace:run.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %+v, want 3 entries", arrivals)
+	}
+	p := arrivals[0]
+	if p.Task != "tau1" || p.Kind != sim.ArrivalPoisson || p.Mean.D() != vtime.Millis(30) || p.Seed != 7 {
+		t.Errorf("poisson arrival = %+v", p)
+	}
+	m := arrivals[1]
+	if m.Kind != sim.ArrivalMMPP || m.Mean.D() != vtime.Millis(60) || m.BurstMean.D() != vtime.Millis(8) ||
+		m.Dwell.D() != vtime.Millis(400) || m.BurstDwell.D() != vtime.Millis(150) || m.Seed != 0 {
+		t.Errorf("mmpp arrival = %+v", m)
+	}
+	tr := arrivals[2]
+	if tr.Kind != sim.ArrivalTrace || tr.Path != "run.jsonl" {
+		t.Errorf("trace arrival = %+v", tr)
+	}
+	empty, err := parseArrivals("")
+	if err != nil || empty != nil {
+		t.Errorf("empty spec: %v, %v", empty, err)
+	}
+	for _, bad := range []string{
+		"tau1:poisson",        // missing mean
+		"tau1:poisson:0",      // non-positive mean
+		"tau1:poisson:x",      // non-numeric mean
+		"tau1:poisson:30:7:9", // trailing field
+		"tau1:mmpp:60:8:400",  // missing burst dwell
+		"tau1:uniform:30",     // unknown kind
+		":poisson:30",         // empty task
+	} {
+		if _, err := parseArrivals(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+	// A colonful trace path must survive the field split intact.
+	colonful, err := parseArrivals("tau1:trace:C:/runs/run.jsonl")
+	if err != nil || colonful[0].Path != "C:/runs/run.jsonl" {
+		t.Errorf("colonful path: %+v, %v", colonful, err)
+	}
+}
+
+// TestArriveFlagEndToEnd drives rtrun -arrive under the oracle: the
+// poisson-driven task must release per its source (verified by
+// -check) and still appear in the summary, and -arrive must conflict
+// with -scenario like the other run-shape flags.
+func TestArriveFlagEndToEnd(t *testing.T) {
+	tasks := filepath.Join("..", "..", "testdata", "figures.tasks")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{
+		"-tasks", tasks, "-arrive", "tau1:poisson:50:3", "-check",
+	}, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtrun -arrive exited %d: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("tau1")) {
+		t.Errorf("summary missing tau1:\n%s", stderr.String())
+	}
+	// Trace replay through the file path front door.
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(tracePath, []byte(
+		"{\"release\":\"100ms\",\"cost\":\"5ms\"}\n{\"release\":\"900ms\",\"cost\":\"5ms\",\"deadline\":\"50ms\"}\n",
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{
+		"-tasks", tasks, "-arrive", "tau2:trace:" + tracePath, "-check",
+	}, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtrun -arrive trace exited %d: %s", code, stderr.String())
+	}
+	log, err := trace.Decode(&stdout)
+	if err != nil {
+		t.Fatalf("stdout is not a decodable trace log: %v", err)
+	}
+	if got := len(log.TaskEvents("tau2")); got == 0 {
+		t.Error("no events for the trace-driven task")
+	}
+	// -arrive redefines the run shape, so it conflicts with -scenario.
+	stderr.Reset()
+	scen := filepath.Join("..", "..", "testdata", "scenarios", "figure5.json")
+	if code := run([]string{"-scenario", scen, "-arrive", "tau1:poisson:30"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-scenario with -arrive exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "arrive") {
+		t.Errorf("error must name -arrive: %s", stderr.String())
+	}
+}
+
 // TestRepeatedFaultsCompose: two -fault entries on one task must both
 // take effect (chained), matching the scenario-JSON semantics.
 func TestRepeatedFaultsCompose(t *testing.T) {

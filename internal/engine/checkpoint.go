@@ -121,6 +121,11 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 	if n := e.liveTimers(); n > 0 {
 		return nil, fmt.Errorf("engine: Snapshot with %d external timer(s) in flight (detector treatments, polling servers and watchdog policies are not checkpointable)", n)
 	}
+	for _, ts := range e.tasks {
+		if ts.src != nil {
+			return nil, fmt.Errorf("engine: Snapshot cannot serialize task %q's arrival source (source iterator state is opaque)", ts.task.Name)
+		}
+	}
 	cp := &Checkpoint{
 		Version:   CheckpointVersion,
 		Policy:    e.policy.Name(),

@@ -70,6 +70,15 @@ type Config struct {
 	Tasks *taskset.Set
 	// Faults maps task names to fault models (nil = fault free).
 	Faults fault.Plan
+	// Sources, when non-empty, must align index-for-index with
+	// Tasks.Tasks: a non-nil Sources[i] replaces task i's periodic
+	// release law (offset + q·T) with source-driven releases — the
+	// engine pulls the next arrival lazily and a release may override
+	// the task's nominal cost and relative deadline per job (trace
+	// records do). nil entries keep the periodic law. Source-driven
+	// tasks are statically ineligible for FastForward (no hyperperiod)
+	// and for checkpointing (a Source carries hidden iterator state).
+	Sources []taskset.Source
 	// End is the simulation horizon; events strictly later are not
 	// processed.
 	End vtime.Time
@@ -296,6 +305,12 @@ type taskState struct {
 	// Left empty under Stream collection, where finished jobs are
 	// recycled.
 	jobs []*Job
+	// src, when non-nil, drives releases instead of the periodic law;
+	// srcNext holds the already-pulled release the next evRelease
+	// event consumes (the 24-byte event record cannot carry per-
+	// release cost/deadline overrides, so they stage here).
+	src     taskset.Source
+	srcNext taskset.Release
 }
 
 // live returns the number of released, unfinished jobs.
@@ -478,10 +493,23 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	if len(cfg.Sources) > 0 && len(cfg.Sources) != cfg.Tasks.Len() {
+		return nil, fmt.Errorf("engine: Sources has %d entries for %d tasks (must align index-for-index, nil = periodic)", len(cfg.Sources), cfg.Tasks.Len())
+	}
+	hasSource := false
+	for _, s := range cfg.Sources {
+		if s != nil {
+			hasSource = true
+			break
+		}
+	}
 	var ff *ffState
 	if cfg.FastForward {
 		if cfg.Collect != Stream {
 			return nil, fmt.Errorf("engine: FastForward requires Stream collection")
+		}
+		if hasSource {
+			return nil, fmt.Errorf("engine: FastForward cannot combine with arrival sources (source-driven releases have no hyperperiod)")
 		}
 		if len(cfg.Faults) > 0 {
 			return nil, fmt.Errorf("engine: FastForward cannot combine with a fault plan (fault arrivals break hyperperiod periodicity)")
@@ -530,7 +558,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	_, e.fpFast = e.policy.(FixedPriority)
 	for i, t := range cfg.Tasks.Tasks {
-		ts := e.addTaskState(t, cfg.Faults.For(t.Name))
+		var src taskset.Source
+		if i < len(cfg.Sources) {
+			src = cfg.Sources[i]
+		}
+		ts := e.addSourcedTaskState(t, cfg.Faults.For(t.Name), src)
 		if e.partitioned {
 			ts.dom = int32(cfg.Partition[i])
 		}
@@ -539,9 +571,30 @@ func New(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) addTaskState(t taskset.Task, m fault.Model) *taskState {
-	ts := &taskState{task: t, id: len(e.tasks), model: m, rdPos: -1}
+	return e.addSourcedTaskState(t, m, nil)
+}
+
+func (e *Engine) addSourcedTaskState(t taskset.Task, m fault.Model, src taskset.Source) *taskState {
+	ts := &taskState{task: t, id: len(e.tasks), model: m, rdPos: -1, src: src}
 	e.tasks = append(e.tasks, ts)
 	e.byName[t.Name] = ts
+	if src != nil {
+		// Source-driven: the first release is wherever the source says
+		// (an exhausted source — e.g. an empty trace — releases
+		// nothing at all). The task's Offset does not apply; the
+		// source owns the whole release law.
+		rel, ok := src.Next()
+		if !ok {
+			return ts
+		}
+		ts.srcNext = rel
+		at := rel.At
+		if at < e.now {
+			at = e.now
+		}
+		e.push(event{at: at, class: classNormal, kind: evRelease, arg: int32(ts.id)})
+		return ts
+	}
 	first := vtime.Time(t.Offset)
 	if first < e.now {
 		first = e.now
@@ -876,13 +929,25 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 	}
 	q := ts.nextQ
 	ts.nextQ++
+	cost, deadline := ts.task.Cost, ts.task.Deadline
+	if ts.src != nil {
+		// Per-release overrides staged by the pull that scheduled this
+		// event (trace records carry their own cost/deadline; the
+		// stochastic sources leave both nominal).
+		if ts.srcNext.Cost > 0 {
+			cost = ts.srcNext.Cost
+		}
+		if ts.srcNext.Deadline > 0 {
+			deadline = ts.srcNext.Deadline
+		}
+	}
 	j := e.newJob()
 	*j = Job{
 		task:        ts,
 		Q:           q,
 		Release:     now,
-		AbsDeadline: now.Add(ts.task.Deadline),
-		Actual:      ts.model.ActualCost(q, ts.task.Cost),
+		AbsDeadline: now.Add(deadline),
+		Actual:      ts.model.ActualCost(q, cost),
 		dlPos:       -1,
 	}
 	if !e.stream {
@@ -924,6 +989,23 @@ func (e *Engine) release(ts *taskState, now vtime.Time) {
 		if e.cfg.Hooks.OnRelease != nil {
 			e.cfg.Hooks.OnRelease(e, j)
 		}
+	}
+	if ts.src != nil {
+		// Pull the next arrival lazily; exhaustion (a finite trace)
+		// simply stops scheduling. Sources promise non-decreasing
+		// times, so clamping to now only defends against a buggy
+		// source, never reorders a correct one.
+		rel, ok := ts.src.Next()
+		if !ok {
+			return
+		}
+		ts.srcNext = rel
+		at := rel.At
+		if at < now {
+			at = now
+		}
+		e.push(event{at: at, class: classNormal, kind: evRelease, arg: int32(ts.id)})
+		return
 	}
 	e.push(event{at: now.Add(ts.task.Period), class: classNormal, kind: evRelease, arg: int32(ts.id)})
 }

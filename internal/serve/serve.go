@@ -184,9 +184,19 @@ func errorBody(w http.ResponseWriter, code int, msg string) {
 
 // throttle answers 429 + Retry-After — the admission layer's contract
 // under saturation — and counts the shed response.
+//
+// Retry-After only has whole-second resolution, so the configured
+// backoff is ceiled, never rounded: rounding a sub-second RetryAfter
+// down would emit "Retry-After: 0", telling every shed client to
+// hammer the saturated server again immediately — the opposite of
+// backpressure.
 func (s *Server) throttle(w http.ResponseWriter) {
 	s.met.throttled.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
+	ra := int64((s.cfg.retryAfter() + time.Second - 1) / time.Second)
+	if ra < 1 {
+		ra = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(ra, 10))
 	errorBody(w, http.StatusTooManyRequests, "accept queue full, retry later")
 }
 
@@ -201,6 +211,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A path-referenced trace source is rejected outright: the digest
+	// covers only the scenario document, so the file's content is
+	// invisible to the cache key — two different traces behind the
+	// same path would alias one cache entry (and the path names a
+	// client-local file this server has no business reading anyway).
+	if sc.HasPathSource() {
+		s.met.badRequests.Add(1)
+		errorBody(w, http.StatusBadRequest, "trace arrival sources must inline their records (\"records\"): a \"path\" reference is not content-addressable")
 		return
 	}
 	digest, err := sc.Digest()

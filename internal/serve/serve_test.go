@@ -292,6 +292,70 @@ func TestQueueFullSheds(t *testing.T) {
 	}
 }
 
+// TestThrottleRetryAfterCeiling pins the Retry-After arithmetic: the
+// header has whole-second resolution, so sub-second configurations
+// must ceil to "1" — the old Round()-based computation emitted
+// "Retry-After: 0" for anything under 500ms, inviting an immediate
+// retry storm against a saturated server.
+func TestThrottleRetryAfterCeiling(t *testing.T) {
+	cases := []struct {
+		cfg  time.Duration
+		want string
+	}{
+		{200 * time.Millisecond, "1"}, // pre-fix: "0"
+		{499 * time.Millisecond, "1"}, // pre-fix: "0"
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"}, // ceiling, not rounding
+		{2 * time.Second, "2"},         // the TestQueueFullSheds pin
+		{0, "1"},                       // config default (1s)
+	}
+	for _, c := range cases {
+		s := New(Config{Workers: 1, RetryAfter: c.cfg})
+		rec := httptest.NewRecorder()
+		s.throttle(rec)
+		if got := rec.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("RetryAfter %v: header %q, want %q", c.cfg, got, c.want)
+		}
+		if rec.Code != http.StatusTooManyRequests {
+			t.Errorf("RetryAfter %v: status %d, want 429", c.cfg, rec.Code)
+		}
+		s.Close()
+	}
+}
+
+// TestPathSourceRejected pins the cache-safety rule: a scenario whose
+// trace arrival reads a file path is refused with 400 — the digest
+// does not cover the file's content, so two different traces behind
+// one path would alias a single cache entry.
+func TestPathSourceRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	sc := scenario.Scenario{
+		Name: "path-trace",
+		Tasks: []scenario.Task{
+			{Name: "replay", Priority: 1, Period: scenario.Duration(vtime.Millis(20)), Deadline: scenario.Duration(vtime.Millis(20)), Cost: scenario.Duration(vtime.Millis(2))},
+		},
+		Arrivals:      []scenario.Arrival{{Task: "replay", Kind: scenario.ArrivalTrace, Path: "does-not-matter.jsonl"}},
+		Horizon:       scenario.Duration(vtime.Millis(100)),
+		SkipAdmission: true,
+	}
+	body, err := scenario.Marshal(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, s, "/v1/simulate", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("path-source POST: status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "content-addressable") {
+		t.Errorf("error body %q does not explain the path rejection", rec.Body.String())
+	}
+	if snap := s.Metrics(); snap.BadRequests == 0 {
+		t.Error("metrics do not count the rejected request")
+	}
+}
+
 // TestSSEProgress pins the streaming contract: ?stream=sse yields a
 // queued event, at least one progress observation of the virtual
 // clock, and a result event whose envelope equals the blocking

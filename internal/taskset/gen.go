@@ -78,8 +78,23 @@ func (g *Generator) Generate(n int, totalU float64) (*Set, error) {
 			cost = period
 		}
 		deadline := vtime.Duration(float64(period) * g.DeadlineFactor).Floor(g.Granularity)
-		if deadline < cost {
-			deadline = cost
+		// Guarantee cost ≤ deadline ≤ period with at least one granule
+		// of slack whenever the draw leaves room. The historical clamp
+		// (deadline = cost) produced zero-slack tasks on small
+		// DeadlineFactor draws — the ceil'd cost overtook the floor'd
+		// deadline — which skewed acceptance sweeps with trivially
+		// infeasible-in-practice points. When cost already fills the
+		// whole period no slack exists to give, and the deadline pins to
+		// the period.
+		minDeadline := cost + g.Granularity
+		if minDeadline > period {
+			minDeadline = period
+		}
+		if deadline < minDeadline {
+			deadline = minDeadline
+		}
+		if deadline > period {
+			deadline = period
 		}
 		tasks[i] = Task{
 			Name:     fmt.Sprintf("t%d", i+1),
@@ -157,6 +172,18 @@ func (r *Rand) Intn(n int) int {
 		panic("taskset: Intn needs n > 0")
 	}
 	return int(r.Uint64() % uint64(n))
+}
+
+// ExpDuration returns an exponential draw with the given mean — the
+// inter-arrival law of the Poisson/MMPP sources. The draw is floored
+// at 1 ns so a sequence of gaps always advances the clock (a zero gap
+// would release two jobs of one task at the same instant).
+func (r *Rand) ExpDuration(mean vtime.Duration) vtime.Duration {
+	d := vtime.Duration(-math.Log(1-r.Float64()) * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // DurationIn returns a uniform draw in [lo, hi].

@@ -1,0 +1,55 @@
+package taskset
+
+import "testing"
+
+// TestGenerateDeadlineSlackProperty sweeps the generator over seeds ×
+// DeadlineFactor and pins the clamp-ordering contract: every drawn
+// task satisfies cost ≤ deadline ≤ period, and whenever the draw
+// leaves room (cost + one granule ≤ period) the deadline keeps at
+// least one granule of slack above the cost. The historical clamp
+// collapsed small-factor draws to deadline == cost — zero-slack tasks
+// that skewed acceptance sweeps.
+func TestGenerateDeadlineSlackProperty(t *testing.T) {
+	factors := []float64{0.5, 0.8, 1.0}
+	utils := []float64{0.3, 0.9, 2.5} // 2.5 over 6 tasks forces near-saturated draws
+	for _, df := range factors {
+		for _, u := range utils {
+			for seed := uint64(1); seed <= 40; seed++ {
+				g := NewGenerator(seed)
+				g.DeadlineFactor = df
+				set, err := g.Generate(6, u)
+				if err != nil {
+					t.Fatalf("df=%g u=%g seed=%d: %v", df, u, seed, err)
+				}
+				for _, task := range set.Tasks {
+					if task.Cost > task.Deadline || task.Deadline > task.Period {
+						t.Fatalf("df=%g u=%g seed=%d task %s: want cost ≤ deadline ≤ period, got C=%v D=%v T=%v",
+							df, u, seed, task.Name, task.Cost, task.Deadline, task.Period)
+					}
+					if task.Cost+g.Granularity <= task.Period && task.Deadline < task.Cost+g.Granularity {
+						t.Fatalf("df=%g u=%g seed=%d task %s: zero-slack deadline %v with cost %v in period %v (room existed for a granule of slack)",
+							df, u, seed, task.Name, task.Deadline, task.Cost, task.Period)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateImplicitDeadlinesUnchanged pins that the slack clamp is
+// inert for the default implicit-deadline configuration: with
+// DeadlineFactor 1.0 every deadline still equals its period, so none
+// of the seeded sweep experiments built on the default drift.
+func TestGenerateImplicitDeadlinesUnchanged(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		set, err := NewGenerator(seed).Generate(5, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range set.Tasks {
+			if task.Deadline != task.Period {
+				t.Fatalf("seed %d task %s: implicit-deadline draw produced D=%v ≠ T=%v", seed, task.Name, task.Deadline, task.Period)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package taskset
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// This file defines arrival sources: generators of job releases that
+// replace the periodic offset+q·T law for open-arrival workloads. A
+// Source drives one task (or one polling server's request stream) and
+// yields releases in non-decreasing time order; the engine pulls the
+// next release lazily, so an infinite stochastic source costs nothing
+// past the horizon. Every source is seed-deterministic — the same
+// construction parameters replay the same arrival sequence bit for
+// bit, which is what lets the invariant oracle re-derive the expected
+// release times independently (verify's per-source release contract).
+
+// Source kinds, as named in scenario files and rtrun flags.
+const (
+	SourcePoisson = "poisson"
+	SourceMMPP    = "mmpp"
+	SourceTrace   = "trace"
+)
+
+// Release is one source-driven job release. A zero Cost or Deadline
+// means "use the task's nominal value"; trace records may override
+// both per release.
+type Release struct {
+	// At is the absolute release instant.
+	At vtime.Time
+	// Cost overrides the task's nominal cost when positive.
+	Cost vtime.Duration
+	// Deadline overrides the task's nominal relative deadline when
+	// positive.
+	Deadline vtime.Duration
+}
+
+// Source yields successive job releases in non-decreasing time order.
+// Next returns ok=false when the source is exhausted (stochastic
+// sources never are; the engine stops pulling at the horizon).
+type Source interface {
+	// Kind returns the source kind name (SourcePoisson, ...).
+	Kind() string
+	// Next returns the next release and whether one exists.
+	Next() (Release, bool)
+}
+
+// PoissonSource releases jobs as a Poisson process: independent
+// exponential inter-arrival gaps with the configured mean. The first
+// arrival is one gap after time zero (no deterministic release at the
+// origin). Gaps are floored at 1 ns so successive releases always
+// advance the clock.
+type PoissonSource struct {
+	mean vtime.Duration
+	rng  *Rand
+	cur  vtime.Time
+}
+
+// NewPoisson returns a Poisson source with the given mean
+// inter-arrival time and RNG seed.
+func NewPoisson(mean vtime.Duration, seed uint64) (*PoissonSource, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("taskset: poisson source needs a positive mean inter-arrival, got %v", mean)
+	}
+	return &PoissonSource{mean: mean, rng: NewRand(seed)}, nil
+}
+
+// Kind returns "poisson".
+func (p *PoissonSource) Kind() string { return SourcePoisson }
+
+// Next returns the next arrival; a Poisson source never exhausts.
+func (p *PoissonSource) Next() (Release, bool) {
+	p.cur = p.cur.Add(p.rng.ExpDuration(p.mean))
+	return Release{At: p.cur}, true
+}
+
+// MMPPSource is a two-state Markov-modulated Poisson process: a base
+// state and a burst state, each with its own mean inter-arrival time,
+// alternating after fixed dwell times. Fixed (rather than exponential)
+// dwells are a deliberate simplification: state flips land at
+// predictable instants, which keeps the burst phase testable (a flip
+// exactly at the horizon is a pinnable edge case) without losing the
+// bursty character — arrivals within each state are still exponential.
+// When a drawn gap crosses the state boundary it is discarded and
+// redrawn from the boundary under the new state's rate, which is
+// distribution-correct for exponential gaps (memorylessness) and keeps
+// the sequence a pure function of the seed.
+type MMPPSource struct {
+	mean     [2]vtime.Duration // inter-arrival mean per state
+	dwell    [2]vtime.Duration // fixed dwell per state
+	rng      *Rand
+	cur      vtime.Time
+	state    int
+	stateEnd vtime.Time
+}
+
+// NewMMPP returns a two-state MMPP source. baseMean/burstMean are the
+// mean inter-arrival times in the base and burst states; baseDwell/
+// burstDwell the fixed state dwell times. The process starts in the
+// base state at time zero.
+func NewMMPP(baseMean, burstMean, baseDwell, burstDwell vtime.Duration, seed uint64) (*MMPPSource, error) {
+	switch {
+	case baseMean <= 0:
+		return nil, fmt.Errorf("taskset: mmpp source needs a positive base mean inter-arrival, got %v", baseMean)
+	case burstMean <= 0:
+		return nil, fmt.Errorf("taskset: mmpp source needs a positive burst mean inter-arrival, got %v", burstMean)
+	case baseDwell <= 0:
+		return nil, fmt.Errorf("taskset: mmpp source needs a positive base dwell, got %v", baseDwell)
+	case burstDwell <= 0:
+		return nil, fmt.Errorf("taskset: mmpp source needs a positive burst dwell, got %v", burstDwell)
+	}
+	return &MMPPSource{
+		mean:     [2]vtime.Duration{baseMean, burstMean},
+		dwell:    [2]vtime.Duration{baseDwell, burstDwell},
+		rng:      NewRand(seed),
+		stateEnd: vtime.Time(baseDwell),
+	}, nil
+}
+
+// Kind returns "mmpp".
+func (m *MMPPSource) Kind() string { return SourceMMPP }
+
+// Next returns the next arrival; an MMPP source never exhausts.
+func (m *MMPPSource) Next() (Release, bool) {
+	for {
+		cand := m.cur.Add(m.rng.ExpDuration(m.mean[m.state]))
+		if !cand.After(m.stateEnd) {
+			m.cur = cand
+			return Release{At: cand}, true
+		}
+		m.cur = vtime.Time(m.stateEnd)
+		m.state = 1 - m.state
+		m.stateEnd = m.stateEnd.Add(m.dwell[m.state])
+	}
+}
+
+// TraceRecord is one record of a trace file: a release instant (as an
+// offset from time zero) with its execution cost and an optional
+// relative deadline (0 = the task's nominal deadline).
+type TraceRecord struct {
+	Release  vtime.Duration
+	Cost     vtime.Duration
+	Deadline vtime.Duration
+}
+
+// Validate checks a single record in isolation.
+func (r TraceRecord) Validate() error {
+	switch {
+	case r.Release < 0:
+		return fmt.Errorf("taskset: trace record release must be non-negative, got %v", r.Release)
+	case r.Cost <= 0:
+		return fmt.Errorf("taskset: trace record cost must be positive, got %v", r.Cost)
+	case r.Deadline < 0:
+		return fmt.Errorf("taskset: trace record deadline must be non-negative, got %v", r.Deadline)
+	case r.Deadline > 0 && r.Cost > r.Deadline:
+		return fmt.Errorf("taskset: trace record cost %v exceeds deadline %v", r.Cost, r.Deadline)
+	}
+	return nil
+}
+
+// TraceSource replays a finite recorded arrival log. Records must be
+// in non-decreasing release order — a trace is a measurement, and
+// silently sorting one would mask a corrupted or mis-merged log, so
+// out-of-order input is an error at construction, not a repair.
+type TraceSource struct {
+	records []TraceRecord
+	idx     int
+}
+
+// NewTrace returns a source replaying records verbatim. An empty
+// trace is valid (the task simply never releases).
+func NewTrace(records []TraceRecord) (*TraceSource, error) {
+	for i, r := range records {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i+1, err)
+		}
+		if i > 0 && r.Release < records[i-1].Release {
+			return nil, fmt.Errorf("taskset: trace record %d out of order: release %v before record %d's %v (traces must be pre-sorted; refusing to sort a measurement)",
+				i+1, r.Release, i, records[i-1].Release)
+		}
+	}
+	return &TraceSource{records: append([]TraceRecord(nil), records...)}, nil
+}
+
+// Kind returns "trace".
+func (t *TraceSource) Kind() string { return SourceTrace }
+
+// Next returns the next recorded release, exhausting at the end.
+func (t *TraceSource) Next() (Release, bool) {
+	if t.idx >= len(t.records) {
+		return Release{}, false
+	}
+	r := t.records[t.idx]
+	t.idx++
+	return Release{At: vtime.Time(r.Release), Cost: r.Cost, Deadline: r.Deadline}, true
+}
+
+// Len returns the number of records.
+func (t *TraceSource) Len() int { return len(t.records) }
+
+// The trace file format is JSON lines, one record per line, durations
+// in the repository's usual string form ("300ms", "1.5ms", "250us"):
+//
+//	{"release":"300ms","cost":"20ms","deadline":"100ms"}
+//	{"release":"340ms","cost":"5ms"}
+//
+// "deadline" is optional (the task's nominal deadline applies).
+// EncodeTrace emits exactly this canonical form — fixed key order,
+// no whitespace, deadline omitted when zero, one trailing newline per
+// record — so a canonical trace file round-trips byte-identically
+// through ParseTrace ∘ EncodeTrace.
+
+// ParseTrace decodes a JSON-lines trace. Errors carry the 1-based
+// line number of the offending record. Blank lines are rejected —
+// the canonical form has none, and tolerating them would break the
+// re-encode byte-identity contract. An empty input is a valid empty
+// trace.
+func ParseTrace(data []byte) ([]TraceRecord, error) {
+	var records []TraceRecord
+	line := 0
+	for len(data) > 0 {
+		line++
+		var raw []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			raw, data = data, nil
+		}
+		rec, err := parseTraceLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("taskset: trace line %d: %w", line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("taskset: trace line %d: %w", line, err)
+		}
+		if len(records) > 0 && rec.Release < records[len(records)-1].Release {
+			return nil, fmt.Errorf("taskset: trace line %d: release %v out of order (line %d released at %v; traces must be pre-sorted, refusing to sort a measurement)",
+				line, rec.Release, line-1, records[len(records)-1].Release)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// parseTraceLine decodes one record. A hand-rolled parser keeps the
+// accepted grammar exactly the canonical grammar (encoding/json would
+// admit reordered keys, whitespace and numeric forms that EncodeTrace
+// can never reproduce).
+func parseTraceLine(raw []byte) (TraceRecord, error) {
+	s := string(raw)
+	if s == "" {
+		return TraceRecord{}, fmt.Errorf("blank line (canonical traces have one record per line, no blanks)")
+	}
+	rest, ok := strings.CutPrefix(s, `{"release":"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("record must start with {\"release\":\"...\", got %q", s)
+	}
+	relStr, rest, ok := strings.Cut(rest, `"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("unterminated release value in %q", s)
+	}
+	rel, err := parseTraceDuration(relStr, "release")
+	if err != nil {
+		return TraceRecord{}, err
+	}
+	rest, ok = strings.CutPrefix(rest, `,"cost":"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("expected \"cost\" after release in %q", s)
+	}
+	costStr, rest, ok := strings.Cut(rest, `"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("unterminated cost value in %q", s)
+	}
+	cost, err := parseTraceDuration(costStr, "cost")
+	if err != nil {
+		return TraceRecord{}, err
+	}
+	rec := TraceRecord{Release: rel, Cost: cost}
+	if rest == "}" {
+		return rec, nil
+	}
+	rest, ok = strings.CutPrefix(rest, `,"deadline":"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("expected \"deadline\" or end of record in %q", s)
+	}
+	dlStr, rest, ok := strings.Cut(rest, `"`)
+	if !ok {
+		return TraceRecord{}, fmt.Errorf("unterminated deadline value in %q", s)
+	}
+	if rest != "}" {
+		return TraceRecord{}, fmt.Errorf("trailing content %q after deadline in %q", rest, s)
+	}
+	dl, err := parseTraceDuration(dlStr, "deadline")
+	if err != nil {
+		return TraceRecord{}, err
+	}
+	rec.Deadline = dl
+	return rec, nil
+}
+
+// parseTraceDuration parses a duration field and insists on the
+// canonical rendering, so every accepted file re-encodes to itself.
+func parseTraceDuration(s, field string) (vtime.Duration, error) {
+	d, err := vtime.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", field, err)
+	}
+	if d.String() != s {
+		return 0, fmt.Errorf("%s %q is not canonical (canonical form is %q)", field, s, d.String())
+	}
+	return d, nil
+}
+
+// EncodeTrace renders records in the canonical JSON-lines form.
+// ParseTrace(EncodeTrace(r)) == r, and for canonical input files
+// EncodeTrace(ParseTrace(data)) == data byte for byte.
+func EncodeTrace(records []TraceRecord) []byte {
+	var b bytes.Buffer
+	for _, r := range records {
+		fmt.Fprintf(&b, `{"release":%q,"cost":%q`, r.Release.String(), r.Cost.String())
+		if r.Deadline != 0 {
+			fmt.Fprintf(&b, `,"deadline":%q`, r.Deadline.String())
+		}
+		b.WriteString("}\n")
+	}
+	return b.Bytes()
+}

@@ -46,6 +46,12 @@ func FuzzScenario(f *testing.F) {
 	for _, seed := range []uint64{3, 5, 11, 17} {
 		f.Add(seed)
 	}
+	// Arrival-source corpus: the smallest seeds drawing each source
+	// kind (7→poisson, 41→mmpp, 36→trace), so the fuzzer starts from
+	// every open-arrival release law the codec can express.
+	for _, seed := range []uint64{7, 41, 36} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		// Fast-forward leg: the seed's FastForwardable derivation must
 		// reproduce its oracle-verified full run across the analytic
@@ -82,6 +88,8 @@ func TestFuzzSeedsSmoke(t *testing.T) {
 	}
 	// The multiprocessor corpus seeds (see FuzzScenario).
 	seeds = append(seeds, 49, 53, 139, 38, 58, 25)
+	// The arrival-source corpus seeds (see FuzzScenario).
+	seeds = append(seeds, 7, 41, 36)
 	for _, seed := range seeds {
 		sc := gen.Scenario(seed)
 		for _, mode := range gen.LegalCollectModes(&sc) {

@@ -163,6 +163,16 @@ func Scenario(seed uint64) scenario.Scenario {
 		}
 	}
 
+	// Arrival-source draw, after the multicore draw so every logged
+	// seed keeps the exact scenario it has always produced and at most
+	// gains an arrivals block. Task-targeted sources ride the bare
+	// engine only — the codec's skip_admission rule — so the draw is
+	// gated on the overload path (which the multicore draw, when it
+	// fired, has already cleared).
+	if sc.SkipAdmission && r.Float64() < 0.5 {
+		addArrival(&sc, r)
+	}
+
 	if err := sc.Validate(); err != nil {
 		panic(fmt.Sprintf("gen: seed %#x produced an invalid scenario: %v", seed, err)) // generator bug
 	}
@@ -184,6 +194,7 @@ func Checkpointable(seed uint64) scenario.Scenario {
 	sc.Treatment = "none"
 	sc.TimerResolution = 0 // detector knob; meaningless without detection
 	sc.Servers = nil
+	sc.Arrivals = nil // a Source's iterator state is opaque to Snapshot
 	sc.Collect = &scenario.Collect{Mode: scenario.CollectStream}
 	if sc.Policy == "d-over" {
 		sc.Policy = "edf"
@@ -345,6 +356,45 @@ func addServer(sc *scenario.Scenario, r *taskset.Rand, set *taskset.Set) {
 		})
 	}
 	sc.Servers = append(sc.Servers, srv)
+}
+
+// addArrival replaces one random task's periodic release law with a
+// drawn arrival source: a Poisson stream, a two-state MMPP, or a
+// generated (sorted, validated) trace replay. The oracle re-derives
+// every expected release from the same parameters, so each drawn
+// source is a self-verifying open-arrival experiment.
+func addArrival(sc *scenario.Scenario, r *taskset.Rand) {
+	target := sc.Tasks[r.Intn(len(sc.Tasks))]
+	a := scenario.Arrival{Task: target.Name}
+	switch r.Intn(3) {
+	case 0:
+		a.Kind = scenario.ArrivalPoisson
+		a.Mean = scenario.Duration(r.DurationIn(5*vtime.Millisecond, 80*vtime.Millisecond))
+		a.Seed = r.Uint64() | 1 // 0 would fall back to the scenario seed
+	case 1:
+		a.Kind = scenario.ArrivalMMPP
+		a.Mean = scenario.Duration(r.DurationIn(20*vtime.Millisecond, 80*vtime.Millisecond))
+		a.BurstMean = scenario.Duration(r.DurationIn(2*vtime.Millisecond, 10*vtime.Millisecond))
+		a.Dwell = scenario.Duration(r.DurationIn(100*vtime.Millisecond, 400*vtime.Millisecond))
+		a.BurstDwell = scenario.Duration(r.DurationIn(50*vtime.Millisecond, 200*vtime.Millisecond))
+		a.Seed = r.Uint64() | 1
+	default:
+		a.Kind = scenario.ArrivalTrace
+		horizon := vtime.Duration(sc.Horizon)
+		at := vtime.Duration(0)
+		for i, k := 0, 1+r.Intn(12); i < k; i++ {
+			at += r.DurationIn(vtime.Millisecond, horizon/6)
+			rec := scenario.TraceRecord{
+				Release: scenario.Duration(at),
+				Cost:    scenario.Duration(r.DurationIn(500*vtime.Microsecond, 5*vtime.Millisecond)),
+			}
+			if r.Float64() < 0.3 {
+				rec.Deadline = scenario.Duration(vtime.Duration(rec.Cost) + r.DurationIn(vtime.Millisecond, 40*vtime.Millisecond))
+			}
+			a.Records = append(a.Records, rec)
+		}
+	}
+	sc.Arrivals = append(sc.Arrivals, a)
 }
 
 // addFault appends one fault entry targeting a random periodic task,

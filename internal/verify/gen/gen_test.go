@@ -49,6 +49,7 @@ func TestScenarioSpaceCoverage(t *testing.T) {
 	policies := map[string]bool{}
 	treatments := map[string]bool{}
 	kinds := map[string]bool{}
+	arrivalKinds := map[string]bool{}
 	var stream, retain, servers, overload bool
 	for seed := uint64(0); seed < 256; seed++ {
 		sc := Scenario(seed)
@@ -56,6 +57,9 @@ func TestScenarioSpaceCoverage(t *testing.T) {
 		treatments[sc.Treatment] = true
 		for _, f := range sc.Faults {
 			kinds[f.Kind] = true
+		}
+		for _, a := range sc.Arrivals {
+			arrivalKinds[a.Kind] = true
 		}
 		if sc.Streaming() {
 			stream = true
@@ -92,6 +96,11 @@ func TestScenarioSpaceCoverage(t *testing.T) {
 	}
 	if !overload {
 		t.Error("no overload (skip-admission) scenario generated")
+	}
+	for _, k := range []string{scenario.ArrivalPoisson, scenario.ArrivalMMPP, scenario.ArrivalTrace} {
+		if !arrivalKinds[k] {
+			t.Errorf("arrival kind %q never generated", k)
+		}
 	}
 }
 

@@ -55,6 +55,34 @@ func Shrink(sc scenario.Scenario, fails Failure) scenario.Scenario {
 				i++
 			}
 		}
+		// Drop arrival sources (the target task reverts to periodic).
+		for i := 0; i < len(cur.Arrivals); {
+			cand := cur
+			cand.Arrivals = deleteAt(cur.Arrivals, i)
+			if accept(cand, fails) {
+				cur, changed = cand, true
+			} else {
+				i++
+			}
+		}
+		// Halve a trace source's record list from the tail (releases
+		// are sorted, so a prefix is always a valid trace).
+		for i := range cur.Arrivals {
+			for len(cur.Arrivals[i].Records) > 0 {
+				cand := cur
+				cand.Arrivals = append([]scenario.Arrival(nil), cur.Arrivals...)
+				cand.Arrivals[i].Records = cur.Arrivals[i].Records[:len(cur.Arrivals[i].Records)/2]
+				if len(cand.Arrivals[i].Records) == 0 {
+					// An empty inline record list is not encodable
+					// (records/path exactly-one); stop at a single record.
+					break
+				}
+				if !accept(cand, fails) {
+					break
+				}
+				cur, changed = cand, true
+			}
+		}
 		// Halve the horizon while the failure persists.
 		for vtime.Duration(cur.Horizon) >= 2*vtime.Millisecond {
 			cand := cur
@@ -97,8 +125,9 @@ func equalSpec(a, b scenario.Scenario) bool {
 	return errA == nil && errB == nil && string(ab) == string(bb)
 }
 
-// dropTask removes task i and every fault entry naming it. Dropping
-// the last task yields no candidate (a scenario needs one task).
+// dropTask removes task i and every fault entry or arrival source
+// naming it. Dropping the last task yields no candidate (a scenario
+// needs one task).
 func dropTask(sc scenario.Scenario, i int) (scenario.Scenario, bool) {
 	if len(sc.Tasks) <= 1 {
 		return sc, false
@@ -110,6 +139,12 @@ func dropTask(sc scenario.Scenario, i int) (scenario.Scenario, bool) {
 	for _, f := range sc.Faults {
 		if f.Task != name {
 			out.Faults = append(out.Faults, f)
+		}
+	}
+	out.Arrivals = nil
+	for _, a := range sc.Arrivals {
+		if a.Task != name {
+			out.Arrivals = append(out.Arrivals, a)
 		}
 	}
 	return out, true

@@ -32,6 +32,22 @@ func ForScenario(sc *scenario.Scenario) (*Checker, error) {
 		Horizon:       vtime.Time(sc.Horizon),
 		CPUs:          sc.CPUs,
 	}
+	// Source-driven tasks get a fresh replay iterator (same kind,
+	// parameters and seed as the run's own): the checker re-derives
+	// every expected arrival instead of trusting the trace. Server-fed
+	// sources don't appear here — the server task itself stays
+	// periodic; its materialized requests are checked by the budget
+	// axiom.
+	if sources, err := sc.TaskSources(); err != nil {
+		return nil, err
+	} else if sources != nil {
+		cfg.Sources = make(map[string]taskset.Source)
+		for i, src := range sources {
+			if src != nil {
+				cfg.Sources[set.Tasks[i].Name] = src
+			}
+		}
+	}
 	if sc.Partitioned() {
 		assignment, err := sc.Partition()
 		if err != nil {

@@ -19,9 +19,14 @@
 //     migrates; and at every settled instant (all events of that
 //     time processed) no core idles while an eligible job waits
 //     (work conservation — per core under partitioned placement);
-//   - jobs of one task are released strictly periodically
-//     (offset + q·T) and dispatched in release order (only the head
-//     of a task's backlog may run — the arbitrary-deadline model);
+//   - jobs of one task are released exactly per the task's declared
+//     release law — strictly periodically (offset + q·T) by default,
+//     or, for a task driven by an arrival source (Config.Sources),
+//     record for record against a fresh replay of that source: the
+//     same seeded stochastic process or trace yields the same arrival
+//     instants, so even "random" releases are checked exactly — and
+//     dispatched in release order (only the head of a task's backlog
+//     may run — the arbitrary-deadline model);
 //   - every released job is resolved by its absolute deadline: it
 //     completes, is stopped, or a DeadlineMiss is recorded exactly at
 //     release + D (a job finishing exactly at its deadline is not a
@@ -108,6 +113,15 @@ type Config struct {
 	// EDF key. An unrecognized name disables the dispatch-order check
 	// (the other axioms still apply).
 	Policy string
+	// Sources maps task names to a fresh arrival-source iterator for
+	// tasks whose releases are source-driven rather than periodic.
+	// Each must be a reconstruction (same kind, parameters and seed —
+	// never the engine's own instance, which is already consumed): the
+	// checker replays it release by release and demands exact arrival
+	// instants, per-record deadline overrides applied to the deadline
+	// axiom, and no releases past exhaustion. Nil or absent entries
+	// keep the periodic offset + q·T law.
+	Sources map[string]taskset.Source
 	// DetectorOffsets maps task names to the expected detector offset
 	// within each period — the latest-detection bound (WCRT or
 	// equitable WCRT, quantized). Nil skips detector-timing checks.
@@ -186,6 +200,12 @@ type taskCheck struct {
 
 	nextQ    int64 // next expected release index
 	nextDetQ int64 // next expected detector check index
+
+	// src replays the task's declared arrival source (nil = periodic);
+	// srcNext/srcOK stage its next expected release.
+	src     taskset.Source
+	srcNext taskset.Release
+	srcOK   bool
 
 	// queue holds the live (released, unterminated) jobs in release
 	// order; queue[head] is the only job of the task allowed to run.
@@ -309,6 +329,10 @@ func New(cfg Config) (*Checker, error) {
 				return nil, fmt.Errorf("verify: task %q assigned to core %d of %d", t.Name, core, cpus)
 			}
 			tc.core, tc.pinned = core, true
+		}
+		if src := cfg.Sources[t.Name]; src != nil {
+			tc.src = src
+			tc.srcNext, tc.srcOK = src.Next()
 		}
 		c.tasks = append(c.tasks, tc)
 		c.byName[t.Name] = tc
@@ -731,11 +755,32 @@ func (c *Checker) release(e trace.Event, tc *taskCheck) {
 	}
 	j := &jobState{tc: tc, q: e.Job, release: e.At}
 	if tc.known {
-		want := vtime.Time(tc.task.Offset).Add(vtime.Duration(e.Job) * tc.task.Period)
-		if e.At != want {
-			c.violate(e.At, "release-time", "release of %s#%d at %v, want offset+q·T = %v", tc.name, e.Job, e.At, want)
+		deadline := tc.task.Deadline
+		if tc.src != nil {
+			// Source-driven release law: replay the reconstructed
+			// source record for record. Seed-determinism makes even the
+			// stochastic kinds exact; a per-record deadline override
+			// narrows the deadline axiom for this job.
+			if !tc.srcOK {
+				c.violate(e.At, "release-source-exhausted", "release of %s#%d but its %s source is exhausted after %d release(s)",
+					tc.name, e.Job, tc.src.Kind(), tc.released)
+			} else {
+				if e.At != tc.srcNext.At {
+					c.violate(e.At, "release-time", "release of %s#%d at %v, want the %s source's next arrival %v",
+						tc.name, e.Job, e.At, tc.src.Kind(), tc.srcNext.At)
+				}
+				if tc.srcNext.Deadline != 0 {
+					deadline = tc.srcNext.Deadline
+				}
+				tc.srcNext, tc.srcOK = tc.src.Next()
+			}
+		} else {
+			want := vtime.Time(tc.task.Offset).Add(vtime.Duration(e.Job) * tc.task.Period)
+			if e.At != want {
+				c.violate(e.At, "release-time", "release of %s#%d at %v, want offset+q·T = %v", tc.name, e.Job, e.At, want)
+			}
 		}
-		j.absDeadline = e.At.Add(tc.task.Deadline)
+		j.absDeadline = e.At.Add(deadline)
 		c.dlPush(j)
 	}
 	tc.released++
@@ -816,6 +861,14 @@ func (c *Checker) Finish() {
 		if got := tc.completed + tc.stopped + int64(tc.live()); got != tc.released {
 			c.violate(end, "conservation", "task %s released %d jobs but accounts for %d (%d completed + %d stopped + %d live)",
 				tc.name, tc.released, got, tc.completed, tc.stopped, tc.live())
+		}
+		// The other half of the source contract: every arrival due
+		// within the horizon must have been released (the engine
+		// processes events up to and including End, so the bound is
+		// closed). A silently dropped trace suffix fails here.
+		if tc.src != nil && tc.srcOK && !tc.srcNext.At.After(end) {
+			c.violate(end, "release-missing", "task %s's %s source has an arrival due at %v within the horizon that was never released",
+				tc.name, tc.src.Kind(), tc.srcNext.At)
 		}
 	}
 }

@@ -8,7 +8,8 @@
 # BenchmarkEngineScaling/tasks=N task-count
 # series, the BenchmarkEngineFastForward/horizon=H/mode=full|ff pairs
 # with their derived fastforward_speedup rows (full ns/op over ff
-# ns/op per horizon), and the derived sub-linearity ratio — per-event
+# ns/op per horizon), the BenchmarkEngineOpenArrivals source-driven
+# release row, and the derived sub-linearity ratio — per-event
 # cost at the largest size over the smallest, next to the task-count
 # ratio it should stay far below. Fails when any benchmark family is
 # missing so CI notices a silently skipped run, and when any
@@ -26,8 +27,9 @@ out=${2:-BENCH_engine.json}
 # The full bench-json artifact keeps the default (all mandatory).
 require_scaling=${REQUIRE_SCALING:-1}
 require_fastforward=${REQUIRE_FASTFORWARD:-1}
+require_openarrivals=${REQUIRE_OPENARRIVALS:-1}
 
-awk -v require_scaling="$require_scaling" -v require_fastforward="$require_fastforward" '
+awk -v require_scaling="$require_scaling" -v require_fastforward="$require_fastforward" -v require_openarrivals="$require_openarrivals" '
 function val(k) { return (k in v) ? v[k] : "null" }
 # Gate-feeding fields are mandatory: record the miss and fail in END
 # (after the full report, so one run surfaces every missing field).
@@ -40,7 +42,7 @@ function must(k) {
     return v[k]
 }
 BEGIN { printf "[\n"; sep = "" }
-/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineThroughput\/cores=/ || /^BenchmarkEngineScaling\// || /^BenchmarkEngineFastForward\// {
+/^BenchmarkEngineThroughput(Retain)?-?[0-9]*[ \t]/ || /^BenchmarkEngineThroughput\/cores=/ || /^BenchmarkEngineScaling\// || /^BenchmarkEngineFastForward\// || /^BenchmarkEngineOpenArrivals-?[0-9]*[ \t]/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     delete v
     for (i = 3; i + 1 <= NF; i += 2) v[$(i+1)] = $i
@@ -62,6 +64,10 @@ BEGIN { printf "[\n"; sep = "" }
             if (tasks + 0 > maxtasks) { maxtasks = tasks; maxns = ns }
         }
         scaling = 1
+    } else if (name ~ /^BenchmarkEngineOpenArrivals/) {
+        printf "%s  {\"benchmark\":\"%s\",\"mode\":\"open-arrivals\",\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+            sep, name, must("ns/op"), val("trace_events"), must("events_per_sec"), val("B/op"), val("allocs/op")
+        openarrivals = 1
     } else if (name ~ /^BenchmarkEngineThroughput\/cores=/) {
         cores = name; sub(/^BenchmarkEngineThroughput\/cores=/, "", cores)
         printf "%s  {\"benchmark\":\"%s\",\"mode\":\"stream\",\"cores\":%s,\"ns_per_op\":%s,\"trace_events\":%s,\"events_per_sec\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
@@ -82,6 +88,10 @@ END {
     }
     if (!fastforward && require_fastforward) {
         print "bench_engine_json: BenchmarkEngineFastForward missing from input" > "/dev/stderr"
+        exit 1
+    }
+    if (!openarrivals && require_openarrivals) {
+        print "bench_engine_json: BenchmarkEngineOpenArrivals missing from input" > "/dev/stderr"
         exit 1
     }
     if (missing) {

@@ -122,10 +122,10 @@ func TestBenchGateFailsOnDegradedBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	freshJSON := filepath.Join(dir, "BENCH_gate.json")
-	// REQUIRE_SCALING=0 REQUIRE_FASTFORWARD=0: the gate capture holds
-	// only the throughput pair, exactly as make bench-gate invokes the
-	// extractor.
-	if out, err := runScript(t, []string{"REQUIRE_SCALING=0", "REQUIRE_FASTFORWARD=0"},
+	// REQUIRE_SCALING=0 REQUIRE_FASTFORWARD=0 REQUIRE_OPENARRIVALS=0:
+	// the gate capture holds only the throughput pair, exactly as make
+	// bench-gate invokes the extractor.
+	if out, err := runScript(t, []string{"REQUIRE_SCALING=0", "REQUIRE_FASTFORWARD=0", "REQUIRE_OPENARRIVALS=0"},
 		filepath.Join("scripts", "bench_engine_json.sh"), benchTxt, freshJSON); err != nil {
 		t.Fatalf("bench_engine_json.sh rejected the synthetic bench.txt: %v\n%s", err, out)
 	}

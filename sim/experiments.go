@@ -161,4 +161,13 @@ func init() {
 			}
 			return Result{Data: points, Text: RenderFastForward(points)}, nil
 		}))
+	RegisterExperiment(NewExperiment("x15",
+		"X15 — open-arrivals differential sweep: Poisson/MMPP/trace sources oracle-verified, retain vs stream",
+		func(ctx context.Context, opt RunOptions) (Result, error) {
+			points, err := OpenArrivalsSweep(ctx, OpenArrivalsSeed, OpenArrivalsCount, opt)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Data: points, Text: RenderOpenArrivals(points)}, nil
+		}))
 }

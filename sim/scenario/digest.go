@@ -16,7 +16,12 @@ import (
 // serving stale results for the old behaviour. Purely additive codec
 // fields whose zero value preserves old results do not need a bump:
 // old files still encode to the same canonical bytes.
-const SchemaVersion = 2
+// v3: the arrivals block (open/trace workload sources). The field is
+// additive with a neutral zero, but v3 also covers the taskset
+// generator's deadline-slack clamp fix — generator-derived scenarios
+// (acceptance sweeps) changed results, so cached reports from v2 must
+// not be served.
+const SchemaVersion = 3
 
 // digestDomain separates scenario digests from any other SHA-256 use
 // and binds them to the schema version.

@@ -16,18 +16,21 @@ import (
 // recomputing blindly: first decide whether simulation results for
 // unchanged files changed, and bump SchemaVersion if so.
 var goldenDigests = map[string]string{
-	// All entries re-pinned at SchemaVersion 2 (the multiprocessor
-	// axis: cpus/placement/partitioner joined the codec and the
-	// engine grew M-core dispatch — uniprocessor results are
-	// unchanged, but the cache domain separates on the version).
-	"aperiodic-server.json":      "sha256:ea8f3939cef1e6c7e12e502c7a7979f15a53489d167ed40cde61ec140c31f484",
-	"edf-overload.json":          "sha256:d1e436344878fe69c7cb675d09d356c9a8fa9cbaf44c19e75b98382f4ffea9ed",
-	"figure5.json":               "sha256:39678e1a9b7f136fa236373863e42b68d7e5997c7b99fc9dc87c0a90b8d7aa34",
-	"jitter-stop.json":           "sha256:39fcc7e1c14b903b3c808505a1fd7b182651bbddae9e0d32d65260c6cc657a4b",
-	"multicore-global.json":      "sha256:d138fe97c0e959af5cefb60f2ff77f49f4bebba5edb1ef667858dad7aec76f0d",
-	"multicore-partitioned.json": "sha256:e68d0ce03011e74388c1d2b6ec53927e42b224a0d4622c24b4806c6c97660028",
-	"scaling-100.json":           "sha256:b91d93fbf80407a2d749a1588919c00257073088a14e8743953c281e46016004",
-	"stream-soak.json":           "sha256:eb0e358d1d681cf77e2d8a3494cdd90142d4d2f46f95dd3e3782486e389377d5",
+	// All entries re-pinned at SchemaVersion 3 (the arrivals block:
+	// open stochastic and trace-driven workload sources joined the
+	// codec, and the taskset generator's deadline-slack clamp fix
+	// changed generator-derived results — periodic scenario files
+	// replay byte-identically, but the cache domain separates on the
+	// version).
+	"aperiodic-server.json":      "sha256:0a1975c75249d0b6f1d9985dac82416ea7ff6ec25b1aa48c359b3ee1ee2fe124",
+	"edf-overload.json":          "sha256:5e8f231cf1edc5394528783fe1449ba3c7037fc848ce8c55e842a45f025c74ed",
+	"figure5.json":               "sha256:d2b6203993d345b6ce92bf57e5acab5c48b6942235c8028976ebb8fdc8ac9c9d",
+	"jitter-stop.json":           "sha256:d7f2c2e0714664ceffe4a5908569e5c2a5b73bae6b96c25c3ed768383ba0560d",
+	"multicore-global.json":      "sha256:700536825508fdbe352d9423c80f2a518906f764ad397561c4fab37700dc0ea0",
+	"multicore-partitioned.json": "sha256:79c13ed9ac0ca918e91c7cf8af6ff6c05c5c4601bd2c92902c789bd232ebba1b",
+	"open-arrivals.json":         "sha256:31e9cabd795328d03a29c50897d7a5b755c0bccbea3e2683182409ced7a8cf42",
+	"scaling-100.json":           "sha256:b0024d310bdddbb11d5021af554d639fc9e90b0e8916335d6079cf3199648fa3",
+	"stream-soak.json":           "sha256:9672f7d49150f7cca309e16f66fb7e42487ceea96bd6aed080a04336f395e5d8",
 }
 
 // TestDigestGoldens pins Digest for every testdata scenario, and

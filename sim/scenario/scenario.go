@@ -252,6 +252,11 @@ type Scenario struct {
 	Faults []Fault `json:"faults,omitempty"`
 	// Servers declares aperiodic polling servers appended to the set.
 	Servers []Server `json:"servers,omitempty"`
+	// Arrivals declares arrival sources (open stochastic arrivals or
+	// trace replay) targeting either periodic tasks (replacing their
+	// release law; requires skip_admission) or polling servers
+	// (feeding their request stream). See Arrival.
+	Arrivals []Arrival `json:"arrivals,omitempty"`
 	// Horizon is the simulated duration (required, positive).
 	Horizon Duration `json:"horizon"`
 	// TimerResolution quantizes detector releases (0 = exact; "10ms"
@@ -333,6 +338,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: server %d: %w", i, err)
 		}
 	}
+	if err := sc.validateArrivals(); err != nil {
+		return err
+	}
 	if sc.Collect != nil {
 		switch sc.Collect.Mode {
 		case CollectRetain, CollectStream:
@@ -368,6 +376,9 @@ func (sc *Scenario) validateFastForward() error {
 	}
 	if len(sc.Servers) > 0 {
 		return fmt.Errorf("scenario: fast_forward cannot combine with servers (aperiodic arrivals break hyperperiod periodicity)")
+	}
+	if len(sc.Arrivals) > 0 {
+		return fmt.Errorf("scenario: fast_forward cannot combine with arrivals (source-driven releases have no hyperperiod)")
 	}
 	if sc.StopJitterMax > 0 {
 		return fmt.Errorf("scenario: fast_forward cannot combine with stop_jitter_max (random draws break hyperperiod periodicity)")

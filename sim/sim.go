@@ -50,6 +50,12 @@ type (
 	Server = scenario.Server
 	// Request is one aperiodic arrival.
 	Request = scenario.Request
+	// Arrival declares one arrival source (open stochastic arrivals
+	// or trace replay) targeting a task or a polling server.
+	Arrival = scenario.Arrival
+	// TraceRecord is one (release, cost, deadline) record of a
+	// trace-driven arrival source.
+	TraceRecord = scenario.TraceRecord
 	// Duration is a JSON-friendly vtime.Duration ("29ms").
 	Duration = scenario.Duration
 	// Collect declares the run-data retention mode.
@@ -80,6 +86,13 @@ const (
 	FaultUnderrunEvery = scenario.FaultUnderrunEvery
 	FaultJitter        = scenario.FaultJitter
 	FaultInterference  = scenario.FaultInterference
+)
+
+// Arrival source kinds, re-exported from sim/scenario.
+const (
+	ArrivalPoisson = scenario.ArrivalPoisson
+	ArrivalMMPP    = scenario.ArrivalMMPP
+	ArrivalTrace   = scenario.ArrivalTrace
 )
 
 // Millis is a convenience for building specs: n milliseconds.
@@ -168,6 +181,16 @@ func WithFaults(faults ...Fault) Option {
 // WithServer appends an aperiodic polling server.
 func WithServer(srv Server) Option {
 	return func(sc *Scenario) error { sc.Servers = append(sc.Servers, srv); return nil }
+}
+
+// WithArrivals appends arrival sources: open stochastic arrival
+// processes (ArrivalPoisson, ArrivalMMPP) or a recorded trace replay
+// (ArrivalTrace), each targeting either a periodic task (replacing
+// its release law — requires WithoutAdmission) or a polling server
+// (feeding its request stream). The scenario JSON equivalent is the
+// "arrivals" block.
+func WithArrivals(arrivals ...Arrival) Option {
+	return func(sc *Scenario) error { sc.Arrivals = append(sc.Arrivals, arrivals...); return nil }
 }
 
 // WithHorizon sets the simulated duration.

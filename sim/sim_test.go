@@ -89,7 +89,7 @@ func TestRegistryMatchesDirectCalls(t *testing.T) {
 // its order (the order cmd/rtexp prints).
 func TestRegistryCoversRtexpArtefacts(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"x1", "x2", "x3", "x9", "x5", "x4", "x10", "x11", "x12", "x13", "x14"}
+		"x1", "x2", "x3", "x9", "x5", "x4", "x10", "x11", "x12", "x13", "x14", "x15"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -175,6 +175,15 @@ func (s *System) Run() (*RunResult, error) {
 	servers := make(map[string]*aperiodic.PollingServer, len(sc.Servers))
 	for _, spec := range sc.Servers {
 		ps := spec.Server()
+		// A source-fed server materializes its request stream from the
+		// declared arrival source (up to the horizon) before Attach
+		// compiles the polling model — the model replays a static
+		// schedule, so the source resolves here, once, deterministically.
+		if reqs, err := sc.ServerRequests(ps.Task.Name); err != nil {
+			return nil, err
+		} else if reqs != nil {
+			ps.Requests = reqs
+		}
 		declared := plan.For(ps.Task.Name)
 		delete(plan, ps.Task.Name)
 		set, plan, err = ps.Attach(set, plan)
@@ -217,6 +226,13 @@ func (s *System) Run() (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Task-targeted arrival sources (validation pins them to
+		// skip_admission, hence to this path). The slice aligns with
+		// the set: periodic tasks first, then server tasks (nil there).
+		sources, err := sc.TaskSources()
+		if err != nil {
+			return nil, err
+		}
 		var acc *metrics.Accumulator
 		if collect == engine.Stream {
 			acc = metrics.NewAccumulator()
@@ -247,6 +263,7 @@ func (s *System) Run() (*RunResult, error) {
 		}
 		eng, err := engine.New(engine.Config{
 			Tasks:         set,
+			Sources:       sources,
 			Faults:        plan,
 			End:           vtime.Time(sc.Horizon),
 			Policy:        pol,
